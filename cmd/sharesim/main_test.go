@@ -1,0 +1,125 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// runOK executes the CLI entry point with args and returns its stdout.
+// All simulation-bearing invocations use -scale 0.02 and a 2-workload
+// subset so the whole file runs in a couple of seconds.
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(&b, args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+// fast prepends the standard scaling flags.
+func fast(args ...string) []string {
+	return append([]string{"-quiet", "-scale", "0.02", "-workloads", "canneal,swaptions"}, args...)
+}
+
+func TestConfigTable(t *testing.T) {
+	out := runOK(t, "-exp", "config")
+	for _, want := range []string{"T1", "cores", "L1D", "LLC", "lru"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("config table missing %q", want)
+		}
+	}
+}
+
+func TestSuiteTable(t *testing.T) {
+	out := runOK(t, "-exp", "suite")
+	for _, want := range []string{"canneal", "barnes", "swim", "parsec", "splash2", "specomp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("suite table missing %q", want)
+		}
+	}
+}
+
+func TestExperimentsSmoke(t *testing.T) {
+	for _, exp := range []string{"f1", "f3", "f9"} {
+		out := runOK(t, fast("-exp", exp)...)
+		if !strings.Contains(out, "canneal") || !strings.Contains(out, "swaptions") {
+			t.Errorf("%s output missing workloads:\n%s", exp, out)
+		}
+	}
+}
+
+func TestExtensionExperimentsSmoke(t *testing.T) {
+	out := runOK(t, fast("-exp", "c1")...)
+	if !strings.Contains(out, "MESI") {
+		t.Errorf("c1 output malformed:\n%s", out)
+	}
+	out = runOK(t, fast("-exp", "c2", "-llc", "0.25")...)
+	if !strings.Contains(out, "cold") {
+		t.Errorf("c2 output malformed:\n%s", out)
+	}
+	out = runOK(t, fast("-exp", "m1", "-llc", "0.25")...)
+	if !strings.Contains(out, "mix(") {
+		t.Errorf("m1 output malformed:\n%s", out)
+	}
+	out = runOK(t, fast("-exp", "a4", "-llc", "0.25", "-policies", "lru")...)
+	if !strings.Contains(out, "horizon") {
+		t.Errorf("a4 output malformed:\n%s", out)
+	}
+}
+
+func TestMarkdownOutput(t *testing.T) {
+	out := runOK(t, "-exp", "config", "-md")
+	if !strings.Contains(out, "### T1") || !strings.Contains(out, "|---|") {
+		t.Errorf("markdown output malformed:\n%s", out)
+	}
+}
+
+func TestF5BothSizes(t *testing.T) {
+	out := runOK(t, fast("-exp", "f5", "-policies", "lru", "-llc", "0.25")...)
+	if strings.Count(out, "oracle study") != 2 {
+		t.Errorf("f5 did not emit both LLC sizes:\n%s", out)
+	}
+	if !strings.Contains(out, "mean miss reduction") {
+		t.Error("f5 missing summary note")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out := runOK(t, fast("-exp", "f1", "-csv")...)
+	if !strings.HasPrefix(out, "workload,") {
+		t.Errorf("CSV output missing header: %q", out[:40])
+	}
+	if strings.Contains(out, "==") {
+		t.Error("CSV output contains table decoration")
+	}
+}
+
+func TestStrengthFlag(t *testing.T) {
+	out := runOK(t, fast("-exp", "f5", "-policies", "lru", "-llc", "0.25", "-strength", "insert-only")...)
+	if !strings.Contains(out, "insert-only") {
+		t.Error("strength not reflected in title")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "nonesuch"},
+		{"-strength", "bogus"},
+		{"-workloads", "doom", "-exp", "f1"},
+		{"-exp", "f4", "-scale", "-1"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(&b, args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command tracegen synthesizes a workload's memory trace and writes it to
+// disk in the compact binary trace format, so external tools (or repeated
+// experiments) can consume identical traces without regenerating them.
+//
+//	tracegen -workload canneal -o canneal.trc
+//	tracegen -workload fft -seed 7 -scale 0.5 -o fft_half.trc
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sharellc/internal/trace"
+	"sharellc/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		name   = fs.String("workload", "", "suite workload to synthesize (see -list)")
+		out    = fs.String("o", "", "output trace file (default <workload>.trc)")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		scale  = fs.Float64("scale", 1, "workload scale factor")
+		list   = fs.Bool("list", false, "list available workloads and exit")
+		format = fs.String("format", "binary", "output format: binary or text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, m := range workloads.Suite() {
+			fmt.Printf("%-15s %-8s %s\n", m.Name, m.Suite, m.Description)
+		}
+		return nil
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -workload (use -list to see choices)")
+	}
+	m, err := workloads.ByName(*name)
+	if err != nil {
+		return err
+	}
+	if *scale != 1 {
+		m = m.Scaled(*scale)
+	}
+	switch *format {
+	case "binary", "text":
+	default:
+		return fmt.Errorf("unknown format %q (want binary or text)", *format)
+	}
+	path := *out
+	if path == "" {
+		path = m.Name + ".trc"
+	}
+
+	r, err := m.Generate(*seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var count uint64
+	switch *format {
+	case "binary":
+		w := trace.NewWriter(f)
+		for {
+			a, ok := r.Next()
+			if !ok {
+				break
+			}
+			if err := w.Write(a); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := r.Err(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		count = w.Count()
+	case "text":
+		count, err = trace.WriteText(f, r)
+		if err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d accesses, %d bytes (%.2f bytes/access)\n",
+		path, count, info.Size(), float64(info.Size())/float64(count))
+	return nil
+}

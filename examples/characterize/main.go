@@ -1,0 +1,53 @@
+// Characterize reproduces the paper's characterization methodology for a
+// handful of applications: how much of the LLC hit volume comes from
+// shared vs. private blocks, and how widely blocks are shared, across
+// LLC sizes.
+//
+//	go run ./examples/characterize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sharellc"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := sharellc.DefaultConfig()
+	for _, n := range []string{"streamcluster", "barnes", "swaptions"} {
+		cfg.Models = append(cfg.Models, sharellc.MustWorkload(n))
+	}
+	suite, err := sharellc.NewSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, size := range []int{2 * sharellc.MB, 4 * sharellc.MB, 8 * sharellc.MB} {
+		rows, err := suite.Characterize(size, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %d MB LLC (LRU) ---\n", size/sharellc.MB)
+		fmt.Printf("%-15s %9s %10s %12s %12s\n",
+			"workload", "missrate", "shared-hit", "shared-res", "shared-blk")
+		for _, r := range rows {
+			fmt.Printf("%-15s %8.1f%% %9.1f%% %11.1f%% %11.1f%%\n",
+				r.Workload, 100*r.MissRate, 100*r.SharedHitFrac,
+				100*r.SharedResidencyFrac, 100*r.SharedBlockFrac)
+		}
+		// Degree view: where do hits land?
+		fmt.Printf("%-15s hits by sharing degree [1 | 2 | 3-4 | 5+]\n", "")
+		for _, r := range rows {
+			fmt.Printf("%-15s %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n", r.Workload,
+				100*r.DegreeHitShare[0], 100*r.DegreeHitShare[1],
+				100*r.DegreeHitShare[2], 100*r.DegreeHitShare[3])
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading guide: shared blocks are a minority of distinct blocks but")
+	fmt.Println("supply the majority of LLC hits on sharing-heavy applications —")
+	fmt.Println("the observation that motivates sharing-aware replacement.")
+}

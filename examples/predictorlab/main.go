@@ -1,0 +1,64 @@
+// Predictorlab reproduces the paper's predictability study: can a
+// realistic history-based predictor, indexed by block address or by the
+// program counter of the fill-triggering instruction, tell at fill time
+// whether a block will be shared during its LLC residency?
+//
+// The lab measures (1) raw prediction quality against residency ground
+// truth and (2) the end-to-end effect of letting each predictor drive the
+// sharing-aware wrapper, with the offline oracle as the ceiling. The
+// paper's conclusion — and this lab's typical output — is negative:
+// address/PC history alone does not deliver acceptable accuracy, and the
+// realized gain is a small fraction of the oracle's. Two extensions probe
+// the paper's closing conjecture: a tournament combination of the two
+// history predictors, and a coherence-assisted predictor fed by MESI
+// directory events ("other architectural features").
+//
+//	go run ./examples/predictorlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sharellc"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := sharellc.DefaultConfig()
+	for _, n := range []string{"canneal", "x264", "barnes"} {
+		cfg.Models = append(cfg.Models, sharellc.MustWorkload(n))
+	}
+	suite, err := sharellc.NewSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const size, ways = 4 * sharellc.MB, 16
+	pcfg := sharellc.DefaultPredictorConfig()
+
+	fmt.Println("--- fill-time prediction quality (positive class: shared residency) ---")
+	rows, err := suite.PredictorAccuracy(size, ways, pcfg, []string{"addr", "pc", "tournament", "coherence", "always", "never"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %-8s %9s %10s %8s %12s\n", "workload", "pred", "accuracy", "precision", "recall", "shared-rate")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-8s %8.1f%% %9.1f%% %7.1f%% %11.1f%%\n",
+			r.Workload, r.Predictor, 100*r.Accuracy, 100*r.Precision, 100*r.Recall, 100*r.SharedBaseRate)
+	}
+
+	fmt.Println()
+	fmt.Println("--- predictors driving replacement vs. the oracle ceiling ---")
+	drows, err := suite.PredictorDriven(size, ways, pcfg, []string{"addr", "pc", "coherence"},
+		sharellc.ProtectorOptions{Strength: sharellc.Full})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %-8s %11s %13s %10s %8s\n", "workload", "pred", "base-misses", "driven-misses", "realized", "oracle")
+	for _, r := range drows {
+		fmt.Printf("%-12s %-8s %11d %13d %9.1f%% %7.1f%%\n",
+			r.Workload, r.Predictor, r.BaseMisses, r.DrivenMisses,
+			100*r.Reduction, 100*r.OracleReduction)
+	}
+}

@@ -1,0 +1,3 @@
+module sharellc
+
+go 1.22

@@ -1,0 +1,238 @@
+// Package cache models the CMP memory system of the paper: per-core
+// private L1 and L2 caches and a shared last-level cache (LLC).
+//
+// The model is functional, not timed: the experiments in the paper compare
+// hit/miss volumes across replacement policies, so only placement,
+// replacement and eviction are simulated.
+//
+// The private levels use plain LRU (their replacement policy is not under
+// study). The LLC takes a pluggable Policy so that every policy in
+// internal/policy, the sharing oracle and the predictors can drive it.
+package cache
+
+import (
+	"fmt"
+
+	"sharellc/internal/trace"
+)
+
+// AccessInfo describes one reference presented to the LLC, together with
+// the side-channel hints that the policy replay passes attach.
+type AccessInfo struct {
+	Block uint64 // cache-block number (byte address >> trace.BlockShift)
+	Core  uint8  // issuing core
+	PC    uint64 // program counter of the triggering instruction
+	Write bool   // store vs. load
+
+	// Index is the position of this access in the LLC reference stream.
+	Index int64
+
+	// NextUse is the stream index of the next access to the same block,
+	// or NoNextUse if the block is never referenced again. It is
+	// precomputed by the experiment pipeline and consumed only by the
+	// Belady OPT policy.
+	NextUse int64
+
+	// PredictedShared is the fill-time sharing hint supplied by the
+	// oracle or by a realistic predictor. It is meaningful only on the
+	// access that triggers a fill and is consumed by the sharing-aware
+	// protection wrapper in internal/core.
+	PredictedShared bool
+}
+
+// NoNextUse marks a block with no future reference in the stream.
+const NoNextUse int64 = -1
+
+// Policy is the replacement-policy contract for the LLC. A Policy manages
+// per-set ordering state; the cache owns tags and validity.
+//
+// The cache calls exactly one of Hit or (Victim, Fill) per access: Hit when
+// the block is present, otherwise Victim to choose the way to evict from a
+// full set (the cache fills invalid ways itself without consulting the
+// policy) followed by Fill for the chosen way.
+type Policy interface {
+	// Name identifies the policy in reports, e.g. "lru" or "srrip".
+	Name() string
+	// Attach tells the policy the geometry of the cache it will manage.
+	// It is called once before any other method.
+	Attach(sets, ways int)
+	// Hit records a hit on way in set.
+	Hit(set, way int, a AccessInfo)
+	// Victim selects the way to evict from a full set.
+	Victim(set int, a AccessInfo) int
+	// Fill records that way in set was filled by a.
+	Fill(set, way int, a AccessInfo)
+}
+
+// line is one cache way's bookkeeping.
+type line struct {
+	block uint64
+	valid bool
+	dirty bool
+}
+
+// SetAssoc is a set-associative cache with a pluggable replacement policy.
+// It is the building block for both the shared LLC and, with an internal
+// LRU policy, the private levels.
+type SetAssoc struct {
+	sets   int
+	ways   int
+	mask   uint64
+	lines  []line // sets*ways, row-major by set
+	policy Policy
+
+	// Counters.
+	accesses uint64
+	hits     uint64
+	fills    uint64
+	evicts   uint64
+}
+
+// NewSetAssoc builds a cache of sizeBytes capacity and the given
+// associativity, managed by policy. sizeBytes must be a multiple of
+// ways*trace.BlockSize and the resulting set count must be a power of two.
+func NewSetAssoc(sizeBytes, ways int, policy Policy) (*SetAssoc, error) {
+	if sizeBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry (size %d, ways %d)", sizeBytes, ways)
+	}
+	blocks := sizeBytes / trace.BlockSize
+	if blocks*trace.BlockSize != sizeBytes {
+		return nil, fmt.Errorf("cache: size %d is not a multiple of the block size %d", sizeBytes, trace.BlockSize)
+	}
+	sets := blocks / ways
+	if sets == 0 || sets*ways != blocks {
+		return nil, fmt.Errorf("cache: size %d with %d ways leaves a fractional set count", sizeBytes, ways)
+	}
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("cache: nil policy")
+	}
+	policy.Attach(sets, ways)
+	return &SetAssoc{
+		sets:   sets,
+		ways:   ways,
+		mask:   uint64(sets - 1),
+		lines:  make([]line, sets*ways),
+		policy: policy,
+	}, nil
+}
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// SizeBytes returns the capacity in bytes.
+func (c *SetAssoc) SizeBytes() int { return c.sets * c.ways * trace.BlockSize }
+
+// Policy returns the replacement policy managing this cache.
+func (c *SetAssoc) Policy() Policy { return c.policy }
+
+// SetOf returns the set index for a block number.
+func (c *SetAssoc) SetOf(block uint64) int { return int(block & c.mask) }
+
+// Result reports the outcome of one Access.
+type Result struct {
+	Hit         bool
+	Set         int
+	Way         int
+	Evicted     bool   // an existing valid line was displaced
+	Victim      uint64 // block number of the displaced line, valid if Evicted
+	VictimDirty bool
+}
+
+// Probe reports whether block is present without touching replacement
+// state or counters.
+func (c *SetAssoc) Probe(block uint64) bool {
+	set := c.SetOf(block)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if ln := &c.lines[base+w]; ln.valid && ln.block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Access presents one reference to the cache: on a miss the block is
+// filled (allocate-on-write as well as read), evicting a victim if the set
+// is full.
+func (c *SetAssoc) Access(a AccessInfo) Result {
+	c.accesses++
+	set := c.SetOf(a.Block)
+	base := set * c.ways
+	// Hit path.
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.block == a.Block {
+			c.hits++
+			if a.Write {
+				ln.dirty = true
+			}
+			c.policy.Hit(set, w, a)
+			return Result{Hit: true, Set: set, Way: w}
+		}
+	}
+	// Miss: prefer an invalid way.
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.lines[base+w].valid {
+			way = w
+			break
+		}
+	}
+	res := Result{Set: set}
+	if way < 0 {
+		way = c.policy.Victim(set, a)
+		if way < 0 || way >= c.ways {
+			panic(fmt.Sprintf("cache: policy %s returned victim way %d outside [0,%d)", c.policy.Name(), way, c.ways))
+		}
+		v := &c.lines[base+way]
+		res.Evicted = true
+		res.Victim = v.block
+		res.VictimDirty = v.dirty
+		c.evicts++
+	}
+	c.lines[base+way] = line{block: a.Block, valid: true, dirty: a.Write}
+	c.fills++
+	c.policy.Fill(set, way, a)
+	res.Way = way
+	return res
+}
+
+// Invalidate removes block from the cache if present, returning whether it
+// was present and whether it was dirty. Used for inclusive-hierarchy
+// back-invalidation.
+func (c *SetAssoc) Invalidate(block uint64) (present, dirty bool) {
+	set := c.SetOf(block)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.block == block {
+			present, dirty = true, ln.dirty
+			*ln = line{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Stats reports access counters since construction.
+func (c *SetAssoc) Stats() (accesses, hits, fills, evicts uint64) {
+	return c.accesses, c.hits, c.fills, c.evicts
+}
+
+// Contents returns the valid block numbers currently cached, mainly for
+// tests and debugging.
+func (c *SetAssoc) Contents() []uint64 {
+	var out []uint64
+	for _, ln := range c.lines {
+		if ln.valid {
+			out = append(out, ln.block)
+		}
+	}
+	return out
+}

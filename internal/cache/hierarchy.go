@@ -1,0 +1,286 @@
+package cache
+
+import (
+	"fmt"
+
+	"sharellc/internal/trace"
+)
+
+// Hierarchy is the private part of the memory system: per-core L1 and L2
+// caches. Accesses that miss in both private levels are the LLC reference
+// stream — the input of every replacement-policy experiment.
+type Hierarchy struct {
+	cfg Config
+	l1  []*SetAssoc
+	l2  []*SetAssoc
+
+	refs    uint64 // total references presented
+	l1Hits  uint64
+	l2Hits  uint64
+	llcRefs uint64 // references that fell through to the LLC
+
+	// writeback controls dirty-victim modelling: dirty L1 victims are
+	// written back into the L2 (possibly cascading an L2 eviction) and
+	// dirty L2 victims are reported through OnWriteback as LLC write
+	// traffic. Disabled by default — the paper's experiments concern
+	// demand references — and enabled via NewHierarchyWriteback.
+	writeback  bool
+	writebacks uint64
+	// OnWriteback, when non-nil and writeback is enabled, receives every
+	// dirty block the private hierarchy expels toward the LLC.
+	OnWriteback func(block uint64, core uint8)
+}
+
+// NewHierarchy builds the private caches described by cfg with demand
+// traffic only.
+func NewHierarchy(cfg Config) (*Hierarchy, error) {
+	return newHierarchy(cfg, false)
+}
+
+// NewHierarchyWriteback builds the private caches with dirty-victim
+// writeback modelling enabled.
+func NewHierarchyWriteback(cfg Config) (*Hierarchy, error) {
+	return newHierarchy(cfg, true)
+}
+
+func newHierarchy(cfg Config, writeback bool) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg, writeback: writeback}
+	for i := 0; i < cfg.Cores; i++ {
+		l1, err := NewSetAssoc(cfg.L1Size, cfg.L1Ways, NewLRU())
+		if err != nil {
+			return nil, fmt.Errorf("cache: building L1[%d]: %w", i, err)
+		}
+		l2, err := NewSetAssoc(cfg.L2Size, cfg.L2Ways, NewLRU())
+		if err != nil {
+			return nil, fmt.Errorf("cache: building L2[%d]: %w", i, err)
+		}
+		h.l1 = append(h.l1, l1)
+		h.l2 = append(h.l2, l2)
+	}
+	return h, nil
+}
+
+// Config returns the configuration the hierarchy was built with.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Access presents one reference to core a.Core's private caches and
+// reports whether it missed both levels (and therefore references the LLC).
+func (h *Hierarchy) Access(a trace.Access) (llcRef bool, err error) {
+	if int(a.Core) >= h.cfg.Cores {
+		return false, fmt.Errorf("cache: access from core %d but hierarchy has %d cores", a.Core, h.cfg.Cores)
+	}
+	h.refs++
+	block := a.Addr.BlockID()
+	info := AccessInfo{Block: block, Core: a.Core, PC: a.PC, Write: a.Write}
+	l1Res := h.l1[a.Core].Access(info)
+	if h.writeback && l1Res.Evicted && l1Res.VictimDirty {
+		// Dirty L1 victim written back into the L2; this may in turn
+		// displace a dirty L2 line toward the LLC.
+		h.l2Write(a.Core, l1Res.Victim)
+	}
+	if l1Res.Hit {
+		h.l1Hits++
+		return false, nil
+	}
+	l2Res := h.l2[a.Core].Access(info)
+	if h.writeback && l2Res.Evicted && l2Res.VictimDirty {
+		h.emitWriteback(l2Res.Victim, a.Core)
+	}
+	if l2Res.Hit {
+		h.l2Hits++
+		return false, nil
+	}
+	h.llcRefs++
+	return true, nil
+}
+
+// l2Write installs a written-back L1 victim into the core's L2.
+func (h *Hierarchy) l2Write(core uint8, block uint64) {
+	res := h.l2[core].Access(AccessInfo{Block: block, Core: core, Write: true})
+	if res.Evicted && res.VictimDirty {
+		h.emitWriteback(res.Victim, core)
+	}
+}
+
+// emitWriteback reports one dirty block leaving the private hierarchy.
+func (h *Hierarchy) emitWriteback(block uint64, core uint8) {
+	h.writebacks++
+	if h.OnWriteback != nil {
+		h.OnWriteback(block, core)
+	}
+}
+
+// Writebacks reports how many dirty blocks the hierarchy has expelled
+// toward the LLC (always 0 without writeback modelling).
+func (h *Hierarchy) Writebacks() uint64 { return h.writebacks }
+
+// Invalidate removes block from every private cache; used by an inclusive
+// LLC when it evicts a block (back-invalidation).
+func (h *Hierarchy) Invalidate(block uint64) {
+	for i := range h.l1 {
+		h.l1[i].Invalidate(block)
+		h.l2[i].Invalidate(block)
+	}
+}
+
+// Stats reports reference counters: total references, L1 hits, L2 hits and
+// the number of references that reached the LLC.
+func (h *Hierarchy) Stats() (refs, l1Hits, l2Hits, llcRefs uint64) {
+	return h.refs, h.l1Hits, h.l2Hits, h.llcRefs
+}
+
+// FilterStream runs the whole trace through a fresh private hierarchy and
+// returns the LLC reference stream with Index assigned and NextUse left
+// unset (callers that need OPT call AnnotateNextUse).
+func FilterStream(r trace.Reader, cfg Config) ([]AccessInfo, *Hierarchy, error) {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var stream []AccessInfo
+	for {
+		a, ok := r.Next()
+		if !ok {
+			break
+		}
+		toLLC, err := h.Access(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		if toLLC {
+			stream = append(stream, AccessInfo{
+				Block:   a.Addr.BlockID(),
+				Core:    a.Core,
+				PC:      a.PC,
+				Write:   a.Write,
+				Index:   int64(len(stream)),
+				NextUse: NoNextUse,
+			})
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	return stream, h, nil
+}
+
+// FilterStreamWriteback is FilterStream with dirty-victim writeback
+// modelling: dirty blocks expelled by the private hierarchy appear in the
+// LLC stream as write accesses (PC 0 — a writeback carries no instruction
+// context), interleaved at the point of eviction.
+func FilterStreamWriteback(r trace.Reader, cfg Config) ([]AccessInfo, *Hierarchy, error) {
+	h, err := NewHierarchyWriteback(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var stream []AccessInfo
+	h.OnWriteback = func(block uint64, core uint8) {
+		stream = append(stream, AccessInfo{
+			Block:   block,
+			Core:    core,
+			Write:   true,
+			Index:   int64(len(stream)),
+			NextUse: NoNextUse,
+		})
+	}
+	for {
+		a, ok := r.Next()
+		if !ok {
+			break
+		}
+		toLLC, err := h.Access(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		if toLLC {
+			stream = append(stream, AccessInfo{
+				Block:   a.Addr.BlockID(),
+				Core:    a.Core,
+				PC:      a.PC,
+				Write:   a.Write,
+				Index:   int64(len(stream)),
+				NextUse: NoNextUse,
+			})
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	return stream, h, nil
+}
+
+// AnnotateNextUse fills in the NextUse field of every access in stream
+// with the index of the next access to the same block (NoNextUse if none).
+// This is the single backward pass that makes Belady OPT exact.
+func AnnotateNextUse(stream []AccessInfo) {
+	next := make(map[uint64]int64, 1<<16)
+	for i := len(stream) - 1; i >= 0; i-- {
+		b := stream[i].Block
+		if n, ok := next[b]; ok {
+			stream[i].NextUse = n
+		} else {
+			stream[i].NextUse = NoNextUse
+		}
+		next[b] = int64(i)
+	}
+}
+
+// System couples a private hierarchy with an inclusive shared LLC: every
+// LLC eviction back-invalidates the block from all private caches. This is
+// the full S4 memory system used by integration tests and examples; the
+// experiment pipeline uses FilterStream instead so that all policies replay
+// an identical LLC stream (see DESIGN.md, key decision 1).
+type System struct {
+	Hierarchy *Hierarchy
+	LLC       *SetAssoc
+
+	llcHits   uint64
+	llcMisses uint64
+}
+
+// NewSystem builds the full memory system with the given LLC policy.
+func NewSystem(cfg Config, llcPolicy Policy) (*System, error) {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	llc, err := NewSetAssoc(cfg.LLCSize, cfg.LLCWays, llcPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("cache: building LLC: %w", err)
+	}
+	return &System{Hierarchy: h, LLC: llc}, nil
+}
+
+// Access runs one reference through the full hierarchy, maintaining
+// inclusion, and reports whether it hit somewhere short of memory.
+func (s *System) Access(a trace.Access) (hit bool, err error) {
+	toLLC, err := s.Hierarchy.Access(a)
+	if err != nil {
+		return false, err
+	}
+	if !toLLC {
+		return true, nil
+	}
+	res := s.LLC.Access(AccessInfo{
+		Block: a.Addr.BlockID(),
+		Core:  a.Core,
+		PC:    a.PC,
+		Write: a.Write,
+		Index: int64(s.llcHits + s.llcMisses),
+	})
+	if res.Evicted {
+		s.Hierarchy.Invalidate(res.Victim)
+	}
+	if res.Hit {
+		s.llcHits++
+		return true, nil
+	}
+	s.llcMisses++
+	return false, nil
+}
+
+// LLCStats reports LLC hits and misses observed through Access.
+func (s *System) LLCStats() (hits, misses uint64) { return s.llcHits, s.llcMisses }

@@ -1,0 +1,379 @@
+package cache
+
+import (
+	"testing"
+
+	"sharellc/internal/trace"
+)
+
+// smallCfg returns a deliberately tiny hierarchy so tests exercise
+// evictions without megabyte traces: 2 cores, 256 B L1, 512 B L2, 1 KB LLC.
+func smallCfg() Config {
+	return Config{
+		Cores:  2,
+		L1Size: 4 * trace.BlockSize, L1Ways: 2,
+		L2Size: 8 * trace.BlockSize, L2Ways: 2,
+		LLCSize: 16 * trace.BlockSize, LLCWays: 4,
+	}
+}
+
+func TestHierarchyL1Filtering(t *testing.T) {
+	h, err := NewHierarchy(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Access{Core: 0, Addr: 0}
+	toLLC, err := h.Access(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !toLLC {
+		t.Error("cold access did not reach the LLC")
+	}
+	toLLC, err = h.Access(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toLLC {
+		t.Error("L1-resident access reached the LLC")
+	}
+	refs, l1Hits, l2Hits, llcRefs := h.Stats()
+	if refs != 2 || l1Hits != 1 || l2Hits != 0 || llcRefs != 1 {
+		t.Errorf("Stats = (%d,%d,%d,%d), want (2,1,0,1)", refs, l1Hits, l2Hits, llcRefs)
+	}
+}
+
+func TestHierarchyL2CatchesL1Victims(t *testing.T) {
+	h, err := NewHierarchy(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L1 has 2 sets x 2 ways. Blocks 0,2,4 conflict in L1 set 0; L2 has
+	// 4 sets, so 0,4 conflict in L2 set 0 but 2 maps elsewhere. Touch
+	// 0,2,4 then 0 again: 0 was evicted from L1 (by 4) but is in L2.
+	seq := []uint64{0, 2, 4, 0}
+	wantLLC := []bool{true, true, true, false}
+	for i, b := range seq {
+		got, err := h.Access(trace.Access{Core: 0, Addr: trace.Addr(b * trace.BlockSize)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != wantLLC[i] {
+			t.Errorf("access %d (block %d): toLLC=%v, want %v", i, b, got, wantLLC[i])
+		}
+	}
+}
+
+func TestHierarchyPrivatePerCore(t *testing.T) {
+	h, err := NewHierarchy(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 warms a block; core 1's access to the same block must still
+	// miss the private levels (caches are private, not shared).
+	addr := trace.Addr(0)
+	if _, err := h.Access(trace.Access{Core: 0, Addr: addr}); err != nil {
+		t.Fatal(err)
+	}
+	toLLC, err := h.Access(trace.Access{Core: 1, Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !toLLC {
+		t.Error("core 1 hit in core 0's private cache")
+	}
+}
+
+func TestHierarchyRejectsOutOfRangeCore(t *testing.T) {
+	h, err := NewHierarchy(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Access(trace.Access{Core: 2}); err == nil {
+		t.Error("core 2 accepted by 2-core hierarchy")
+	}
+}
+
+func TestFilterStreamIndexesAndContent(t *testing.T) {
+	var accs []trace.Access
+	// 3 distinct blocks twice each from core 0; tiny L1 keeps them all,
+	// so only the 3 cold misses reach the LLC.
+	for round := 0; round < 2; round++ {
+		for b := uint64(0); b < 3; b++ {
+			accs = append(accs, trace.Access{Core: 0, PC: 0x400 + b, Addr: trace.Addr(b * trace.BlockSize)})
+		}
+	}
+	stream, h, err := FilterStream(trace.NewSliceReader(accs), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != 3 {
+		t.Fatalf("LLC stream has %d accesses, want 3 (cold misses only)", len(stream))
+	}
+	for i, a := range stream {
+		if a.Index != int64(i) {
+			t.Errorf("stream[%d].Index = %d", i, a.Index)
+		}
+		if a.Block != uint64(i) {
+			t.Errorf("stream[%d].Block = %d, want %d", i, a.Block, i)
+		}
+		if a.NextUse != NoNextUse {
+			t.Errorf("stream[%d].NextUse set before annotation", i)
+		}
+	}
+	if _, _, _, llcRefs := h.Stats(); llcRefs != 3 {
+		t.Errorf("hierarchy llcRefs = %d, want 3", llcRefs)
+	}
+}
+
+func TestAnnotateNextUse(t *testing.T) {
+	stream := []AccessInfo{
+		{Block: 1, Index: 0},
+		{Block: 2, Index: 1},
+		{Block: 1, Index: 2},
+		{Block: 1, Index: 3},
+		{Block: 3, Index: 4},
+	}
+	AnnotateNextUse(stream)
+	want := []int64{2, NoNextUse, 3, NoNextUse, NoNextUse}
+	for i, w := range want {
+		if stream[i].NextUse != w {
+			t.Errorf("stream[%d].NextUse = %d, want %d", i, stream[i].NextUse, w)
+		}
+	}
+}
+
+func TestAnnotateNextUseEmpty(t *testing.T) {
+	AnnotateNextUse(nil) // must not panic
+}
+
+func TestWritebackDisabledByDefault(t *testing.T) {
+	h, err := NewHierarchy(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty a block, then thrash it out of both private levels.
+	if _, err := h.Access(trace.Access{Core: 0, Write: true, Addr: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for b := uint64(1); b < 64; b++ {
+		if _, err := h.Access(trace.Access{Core: 0, Addr: trace.Addr(b * trace.BlockSize)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Writebacks() != 0 {
+		t.Errorf("default hierarchy emitted %d writebacks", h.Writebacks())
+	}
+}
+
+func TestWritebackEmitsDirtyVictims(t *testing.T) {
+	h, err := NewHierarchyWriteback(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	h.OnWriteback = func(block uint64, core uint8) {
+		got = append(got, block)
+		if core != 0 {
+			t.Errorf("writeback attributed to core %d", core)
+		}
+	}
+	// Dirty block 0, then stream clean blocks through the same sets to
+	// expel it from L1 and L2.
+	if _, err := h.Access(trace.Access{Core: 0, Write: true, Addr: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for b := uint64(1); b < 64; b++ {
+		if _, err := h.Access(trace.Access{Core: 0, Addr: trace.Addr(b * trace.BlockSize)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Writebacks() == 0 {
+		t.Fatal("no writebacks emitted")
+	}
+	found := false
+	for _, b := range got {
+		if b == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dirty block 0 never written back (got %v)", got)
+	}
+	if uint64(len(got)) != h.Writebacks() {
+		t.Errorf("hook fired %d times, counter says %d", len(got), h.Writebacks())
+	}
+}
+
+func TestCleanVictimsNotWrittenBack(t *testing.T) {
+	h, err := NewHierarchyWriteback(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only reads: nothing is ever dirty, so no writebacks.
+	for b := uint64(0); b < 64; b++ {
+		if _, err := h.Access(trace.Access{Core: 0, Addr: trace.Addr(b * trace.BlockSize)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Writebacks() != 0 {
+		t.Errorf("read-only stream produced %d writebacks", h.Writebacks())
+	}
+}
+
+func TestFilterStreamWriteback(t *testing.T) {
+	var accs []trace.Access
+	accs = append(accs, trace.Access{Core: 0, Write: true, Addr: 0})
+	for b := uint64(1); b < 64; b++ {
+		accs = append(accs, trace.Access{Core: 0, Addr: trace.Addr(b * trace.BlockSize)})
+	}
+	stream, h, err := FilterStreamWriteback(trace.NewSliceReader(accs), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Writebacks() == 0 {
+		t.Fatal("no writebacks in filtered stream run")
+	}
+	wbCount := 0
+	for i, a := range stream {
+		if a.Index != int64(i) {
+			t.Fatalf("stream[%d].Index = %d", i, a.Index)
+		}
+		if a.Write && a.PC == 0 {
+			wbCount++
+		}
+	}
+	if uint64(wbCount) < h.Writebacks() {
+		t.Errorf("stream contains %d writeback records, hierarchy emitted %d", wbCount, h.Writebacks())
+	}
+	// Demand-only filtering of the same trace yields a strictly shorter
+	// stream.
+	demand, _, err := FilterStream(trace.NewSliceReader(accs), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(demand) >= len(stream) {
+		t.Errorf("writeback stream (%d) not longer than demand stream (%d)", len(stream), len(demand))
+	}
+}
+
+func TestSystemInclusionBackInvalidation(t *testing.T) {
+	cfg := smallCfg()
+	// Shrink the LLC below the sum of private caches to force inclusion
+	// victims that are still private-resident: LLC 8 blocks, 2 ways.
+	cfg.LLCSize = 8 * trace.BlockSize
+	cfg.LLCWays = 2
+	sys, err := NewSystem(cfg, NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LLC has 4 sets x 2 ways. Blocks 0,4,8 all map to LLC set 0 and to
+	// different L1/L2 sets where possible; pushing 3 such blocks through
+	// evicts block 0 from the LLC and must also purge it from L1/L2.
+	for _, b := range []uint64{0, 4, 8} {
+		if _, err := sys.Access(trace.Access{Core: 0, Addr: trace.Addr(b * trace.BlockSize)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.LLC.Probe(0) {
+		t.Fatal("block 0 still in LLC; test premise broken")
+	}
+	// If inclusion held, the re-access to block 0 must reach the LLC
+	// (private copies were back-invalidated) and miss there.
+	hit, err := sys.Access(trace.Access{Core: 0, Addr: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("block 0 hit after LLC eviction; back-invalidation failed")
+	}
+	hits, misses := sys.LLCStats()
+	if hits != 0 || misses != 4 {
+		t.Errorf("LLCStats = (%d,%d), want (0,4)", hits, misses)
+	}
+}
+
+func TestSystemLLCHit(t *testing.T) {
+	sys, err := NewSystem(smallCfg(), NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 warms a block, core 1 reads it: private miss, LLC hit.
+	if _, err := sys.Access(trace.Access{Core: 0, Addr: 0}); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := sys.Access(trace.Access{Core: 1, Addr: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("cross-core LLC hit missed")
+	}
+	if hits, misses := sys.LLCStats(); hits != 1 || misses != 1 {
+		t.Errorf("LLCStats = (%d,%d), want (1,1)", hits, misses)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := DefaultConfig().String()
+	if s == "" {
+		t.Error("empty config string")
+	}
+}
+
+func TestHierarchyConfigAccessor(t *testing.T) {
+	h, err := NewHierarchy(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Config() != smallCfg() {
+		t.Error("Config() does not round-trip")
+	}
+}
+
+func TestHierarchyRejectsBadConfig(t *testing.T) {
+	bad := smallCfg()
+	bad.L1Size = 100
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Error("bad L1 accepted")
+	}
+	bad = smallCfg()
+	bad.L2Size = 100
+	if _, err := NewHierarchyWriteback(bad); err == nil {
+		t.Error("bad L2 accepted")
+	}
+	if _, err := NewSystem(bad, NewLRU()); err == nil {
+		t.Error("NewSystem accepted bad config")
+	}
+	ok := smallCfg()
+	if _, err := NewSystem(ok, nil); err == nil {
+		t.Error("NewSystem accepted nil policy")
+	}
+}
+
+func TestL1WritebackCascadesThroughL2(t *testing.T) {
+	// Force an L1 dirty eviction whose L2 insertion itself displaces a
+	// dirty L2 line, exercising the cascade path.
+	cfg := Config{
+		Cores:  1,
+		L1Size: 2 * trace.BlockSize, L1Ways: 2, // 1 set x 2 ways
+		L2Size: 2 * trace.BlockSize, L2Ways: 2, // 1 set x 2 ways
+		LLCSize: 16 * trace.BlockSize, LLCWays: 4,
+	}
+	h, err := NewHierarchyWriteback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wbs []uint64
+	h.OnWriteback = func(b uint64, _ uint8) { wbs = append(wbs, b) }
+	// Dirty three blocks; with 2-way L1 and 2-way L2 the third dirty
+	// fill forces a dirty L1 victim into a full dirty L2.
+	for b := uint64(0); b < 4; b++ {
+		if _, err := h.Access(trace.Access{Core: 0, Write: true, Addr: trace.Addr(b * trace.BlockSize)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(wbs) == 0 {
+		t.Error("no cascaded writebacks emitted")
+	}
+}

@@ -1,0 +1,86 @@
+package cache
+
+// LRU is the classic least-recently-used replacement policy, implemented
+// with per-set recency timestamps. It serves as the baseline policy of the
+// paper and as the fixed policy of the private cache levels.
+//
+// LRU lives in package cache (rather than internal/policy) because the
+// private hierarchy needs it without depending on the policy catalogue;
+// internal/policy re-exports it for the catalogue.
+type LRU struct {
+	ways  int
+	stamp []uint64 // sets*ways recency stamps; larger = more recent
+	clock uint64
+}
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// Attach implements Policy.
+func (p *LRU) Attach(sets, ways int) {
+	p.ways = ways
+	p.stamp = make([]uint64, sets*ways)
+	// Start well above zero so Demote's min-1 arithmetic cannot wrap.
+	p.clock = 1 << 32
+}
+
+// Hit implements Policy.
+func (p *LRU) Hit(set, way int, _ AccessInfo) { p.touch(set, way) }
+
+// Fill implements Policy.
+func (p *LRU) Fill(set, way int, _ AccessInfo) { p.touch(set, way) }
+
+// Victim implements Policy: the way with the smallest stamp.
+func (p *LRU) Victim(set int, _ AccessInfo) int {
+	base := set * p.ways
+	victim, min := 0, p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < min {
+			victim, min = w, s
+		}
+	}
+	return victim
+}
+
+func (p *LRU) touch(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+// Demote moves way to the LRU position of its set, making it the next
+// victim unless re-referenced first (sharing-aware insertion demotion).
+func (p *LRU) Demote(set, way int) {
+	base := set * p.ways
+	min := p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < min {
+			min = s
+		}
+	}
+	p.stamp[base+way] = min - 1
+}
+
+// Ways returns the associativity this policy was attached with.
+func (p *LRU) Ways() int { return p.ways }
+
+// Stamp returns the raw recency stamp of way in set (larger = more
+// recent). Exposed so wrappers can rank victims without re-deriving state.
+func (p *LRU) Stamp(set, way int) uint64 { return p.stamp[set*p.ways+way] }
+
+// StackPosition returns the recency rank of way in set: 0 = MRU,
+// ways-1 = LRU. Exposed for the sharing-awareness characterization, which
+// inspects where shared blocks sit in the recency stack.
+func (p *LRU) StackPosition(set, way int) int {
+	base := set * p.ways
+	mine := p.stamp[base+way]
+	rank := 0
+	for w := 0; w < p.ways; w++ {
+		if p.stamp[base+w] > mine {
+			rank++
+		}
+	}
+	return rank
+}

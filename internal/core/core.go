@@ -1,0 +1,440 @@
+// Package core implements the paper's primary contribution: a generic
+// sharing-aware wrapper that can be combined with ANY base replacement
+// policy. At fill time the wrapper receives a hint — from the offline
+// oracle (internal/oracle) or from a realistic fill-time predictor
+// (internal/predictor) — saying whether the incoming block will be shared
+// during its LLC residency. Hinted blocks are protected:
+//
+//   - insertion promotion: the fill is promoted to the base policy's
+//     highest-protection position (MRU for stack policies, RRPV 0 for the
+//     RRIP family), and
+//   - victim exclusion (Full strength only): during victim selection the
+//     wrapper walks the base policy's preference order and skips protected
+//     blocks while an unprotected candidate exists.
+//
+// Protection is deliberately *temporary*. A block predicted shared is only
+// worth retaining until the predicted cross-core reuse arrives; afterwards
+// the base policy's own recency/re-reference machinery is the right judge.
+// Two mechanisms bound every protection:
+//
+//   - fulfilment: the first LLC hit from a core other than the filler
+//     clears the protection (the sharing the hint promised has happened);
+//   - skip budget: each time victim selection passes over a protected
+//     block, that block's budget decreases; at zero the protection is
+//     dropped. This caps the collateral damage of mispredictions and of
+//     shared-but-already-dead blocks at a few forced evictions of
+//     innocent neighbours.
+//
+// Anti-lockout: when every way of a set is protected, the base victim is
+// evicted anyway (and the set's budgets decay), so a burst of shared fills
+// can never wedge a set.
+package core
+
+import (
+	"fmt"
+
+	"sharellc/internal/cache"
+)
+
+// Strength selects how aggressively the wrapper acts on sharing hints.
+type Strength int
+
+const (
+	// InsertOnly promotes predicted-shared fills to the base policy's
+	// highest-protection insertion position but leaves victim selection
+	// untouched. This is the gentler variant of the paper's oracle
+	// mechanism (ablation A1).
+	InsertOnly Strength = iota
+	// Full adds victim exclusion: protected blocks are skipped during
+	// victim selection while unprotected candidates exist.
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Strength) String() string {
+	switch s {
+	case InsertOnly:
+		return "insert-only"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Strength(%d)", int(s))
+	}
+}
+
+// DefaultSkipBudget is how many times a protected block may be passed
+// over during victim selection before its protection lapses.
+const DefaultSkipBudget = 8
+
+// Options configures a Protector beyond the basic strength.
+type Options struct {
+	Strength Strength
+	// SkipBudget bounds how often one protected block can deflect
+	// eviction onto its set neighbours. Zero means DefaultSkipBudget;
+	// negative means unlimited (not recommended: dead shared blocks then
+	// pin their sets until lockout).
+	SkipBudget int
+	// NoDemote disables insertion demotion of predicted-unshared fills.
+	// By default the wrapper demotes such fills to the base policy's
+	// lowest-priority position (when the base implements Demoter).
+	NoDemote bool
+	// Duel enables set-dueling: bare-base leader sets run against
+	// sharing-aware leader sets and follower sets adopt whichever side
+	// misses less (with hysteresis). Off by default — the mechanism
+	// carries long-lived state (resident shared working sets), so on
+	// trace-scale runs the duel's convergence time eats much of the
+	// win; the hint-rate gate below is the default no-harm guard.
+	Duel bool
+	// ClearOnFulfil drops protection as soon as the predicted sharing
+	// materializes (first cross-core hit). Off by default: a block whose
+	// hint proved right is *actively shared* and keeps its protection —
+	// the whole point of the oracle is to extend such blocks' residencies
+	// past the base policy's eviction — with the skip budget still
+	// bounding the cost once the block goes dead.
+	ClearOnFulfil bool
+}
+
+// VictimRanker mirrors policy.VictimRanker (declared here too so that core
+// does not import the catalogue; any policy implementing the method works).
+type VictimRanker interface {
+	RankVictims(set int, a cache.AccessInfo) []int
+}
+
+// Demoter is implemented by base policies that can move a line to their
+// lowest-priority (evict-next) position. The wrapper demotes fills that
+// are predicted NOT to be shared, which is the highest-leverage form of
+// sharing-awareness: single-use private traffic stops displacing shared
+// working sets, exactly as LIP/BIP do for thrashing streams.
+type Demoter interface {
+	Demote(set, way int)
+}
+
+// Promoter is implemented by base policies that can move a line to their
+// highest-protection position without side effects on their training
+// state. When absent, the wrapper falls back to Hit, which for pure
+// recency policies is exactly a promotion.
+type Promoter interface {
+	Promote(set, way int)
+}
+
+// EvictObserver is implemented by base policies that train on evictions
+// (e.g. SHiP). When the wrapper overrides the base victim choice it still
+// delivers the eviction notification so the base keeps learning.
+type EvictObserver interface {
+	ObserveEvict(set, way int)
+}
+
+// Stats counts the wrapper's interventions.
+type Stats struct {
+	ProtectedFills uint64 // fills that arrived with a shared hint
+	Promotions     uint64 // insertion promotions applied
+	Demotions      uint64 // unshared fills demoted to lowest priority
+	Exclusions     uint64 // victims redirected away from a protected block
+	Fulfilled      uint64 // protections cleared by an observed cross-core hit
+	Expired        uint64 // protections cleared by skip-budget exhaustion
+	Lockouts       uint64 // sets found fully protected (base victim used)
+}
+
+// line is the wrapper's per-way state.
+type line struct {
+	protected bool
+	fillCore  uint8
+	skipsLeft int
+}
+
+// duelPeriod spaces the leader sets: one sharing-aware leader and one
+// base leader per 32 sets. Denser than DIP's 1-in-64 because simulated
+// traces are millions (not billions) of references long and the selector
+// must converge within a few sweep revolutions.
+const duelPeriod = 32
+
+// pselMax sizes the 8-bit policy-selection counter (smaller than DIP's
+// 10 bits for the same trace-scale reason).
+const pselMax = 1 << 8
+
+// Protector is the sharing-aware wrapper. It implements cache.Policy by
+// delegating to the wrapped base policy and intervening on hinted fills.
+type Protector struct {
+	base  cache.Policy
+	opts  Options
+	ways  int
+	lines []line
+	stats Stats
+
+	period   int // leader spacing (shrunk for tiny caches)
+	psel     int
+	useAware bool // follower decision, updated with hysteresis
+
+	// Hint-rate gate: demotion of unhinted fills is enabled only while a
+	// meaningful fraction of recent fills carried a shared hint, so a
+	// workload with no sharing never pays the demotion tax. Counters are
+	// halved periodically to track phase changes.
+	fillsSeen   uint64
+	fillsHinted uint64
+}
+
+// NewProtector wraps base with sharing-aware protection of the given
+// strength and default options. The same Protector instance must manage
+// exactly one cache, like any other policy.
+func NewProtector(base cache.Policy, strength Strength) *Protector {
+	return NewProtectorOpts(base, Options{Strength: strength})
+}
+
+// NewProtectorOpts wraps base with explicit options.
+func NewProtectorOpts(base cache.Policy, opts Options) *Protector {
+	if base == nil {
+		panic("core: nil base policy")
+	}
+	if opts.SkipBudget == 0 {
+		opts.SkipBudget = DefaultSkipBudget
+	}
+	return &Protector{base: base, opts: opts}
+}
+
+// Base returns the wrapped policy.
+func (p *Protector) Base() cache.Policy { return p.base }
+
+// Name implements cache.Policy: the base name with a "+sa" suffix (e.g.
+// "lru+sa").
+func (p *Protector) Name() string { return p.base.Name() + "+sa" }
+
+// Stats returns the intervention counters.
+func (p *Protector) Stats() Stats { return p.stats }
+
+// Attach implements cache.Policy.
+func (p *Protector) Attach(sets, ways int) {
+	p.base.Attach(sets, ways)
+	p.ways = ways
+	p.lines = make([]line, sets*ways)
+	p.period = duelPeriod
+	if sets < p.period {
+		p.period = sets
+	}
+	p.psel = pselMax / 2
+}
+
+// setRole reports a set's dueling role: +1 sharing-aware leader, -1 base
+// leader, 0 follower.
+func (p *Protector) setRole(set int) int {
+	if !p.opts.Duel {
+		return +1 // everything sharing-aware
+	}
+	switch set % p.period {
+	case 0:
+		return +1
+	case p.period/2 + 1:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// aware reports whether sharing-aware behaviour is active in set.
+func (p *Protector) aware(set int) bool {
+	switch p.setRole(set) {
+	case +1:
+		return true
+	case -1:
+		return false
+	default:
+		return p.useAware
+	}
+}
+
+// observeMiss trains the selector on leader-set fills (fills are misses).
+func (p *Protector) observeMiss(set int) {
+	if !p.opts.Duel {
+		return
+	}
+	switch p.setRole(set) {
+	case +1:
+		if p.psel < pselMax-1 {
+			p.psel++
+		}
+	case -1:
+		if p.psel > 0 {
+			p.psel--
+		}
+	}
+	// Hysteresis: followers switch to sharing-aware only on a clear win
+	// (low PSEL) and back only on a clear loss, because the mechanism
+	// carries long-lived state (resident shared working sets) that
+	// flapping would destroy.
+	const margin = pselMax / 8
+	if p.useAware && p.psel > pselMax/2+margin {
+		p.useAware = false
+	} else if !p.useAware && p.psel < pselMax/2-margin {
+		p.useAware = true
+	}
+}
+
+// Hit implements cache.Policy: delegate, then check whether the hit
+// fulfils a pending protection.
+func (p *Protector) Hit(set, way int, a cache.AccessInfo) {
+	p.base.Hit(set, way, a)
+	ln := &p.lines[set*p.ways+way]
+	if ln.protected && a.Core != ln.fillCore {
+		p.stats.Fulfilled++
+		if p.opts.ClearOnFulfil {
+			ln.protected = false
+		} else {
+			// Refresh: active sharing re-arms the budget.
+			ln.skipsLeft = p.opts.SkipBudget
+		}
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *Protector) Victim(set int, a cache.AccessInfo) int {
+	if p.opts.Strength < Full || !p.aware(set) {
+		return p.base.Victim(set, a)
+	}
+	base := set * p.ways
+	nProtected := 0
+	for w := 0; w < p.ways; w++ {
+		if p.lines[base+w].protected {
+			nProtected++
+		}
+	}
+	if nProtected == 0 {
+		return p.base.Victim(set, a)
+	}
+	if nProtected == p.ways {
+		// Lockout: every way protected. Evict the base victim and charge
+		// every line's budget so a persistently saturated set drains.
+		p.stats.Lockouts++
+		for w := 0; w < p.ways; w++ {
+			p.charge(&p.lines[base+w])
+		}
+		return p.base.Victim(set, a)
+	}
+	if r, ok := p.base.(VictimRanker); ok {
+		rank := r.RankVictims(set, a)
+		for _, w := range rank {
+			ln := &p.lines[base+w]
+			if !ln.protected {
+				if w != rank[0] {
+					p.stats.Exclusions++
+					// Charge every protected line that outranked the
+					// chosen victim.
+					for _, s := range rank {
+						if s == w {
+							break
+						}
+						p.charge(&p.lines[base+s])
+					}
+				}
+				p.notifyEvict(set, w)
+				return w
+			}
+		}
+		// Unreachable: nProtected < ways guarantees an unprotected way.
+	}
+	// Base cannot rank (e.g. Random): take its victim, and if that is
+	// protected redirect to the lowest-numbered unprotected way.
+	v := p.base.Victim(set, a)
+	if !p.lines[base+v].protected {
+		return v
+	}
+	p.charge(&p.lines[base+v])
+	for w := 0; w < p.ways; w++ {
+		if !p.lines[base+w].protected {
+			p.stats.Exclusions++
+			return w
+		}
+	}
+	return v // unreachable, see above
+}
+
+// charge decrements a protected line's skip budget, expiring the
+// protection when it runs out. Unlimited budgets (negative option) never
+// expire.
+func (p *Protector) charge(ln *line) {
+	if !ln.protected || p.opts.SkipBudget < 0 {
+		return
+	}
+	ln.skipsLeft--
+	if ln.skipsLeft <= 0 {
+		ln.protected = false
+		p.stats.Expired++
+	}
+}
+
+// notifyEvict forwards the eviction to bases that train on it. When the
+// wrapper picks the victim from the ranking rather than via base.Victim,
+// the base's Victim-side training would otherwise be skipped.
+func (p *Protector) notifyEvict(set, way int) {
+	if o, ok := p.base.(EvictObserver); ok {
+		o.ObserveEvict(set, way)
+	}
+}
+
+// gateWindow is the decay period of the hint-rate gate (in fills).
+const gateWindow = 1 << 15
+
+// gateDenom sets the gate threshold: demotion activates while hinted
+// fills are at least 1/gateDenom of all fills.
+const gateDenom = 32
+
+// demoteActive reports whether the hint-rate gate currently allows
+// demotion of unhinted fills.
+func (p *Protector) demoteActive() bool {
+	return p.fillsHinted*gateDenom >= p.fillsSeen
+}
+
+// Fill implements cache.Policy: delegate, then promote and mark protected
+// when the fill carries a shared hint.
+func (p *Protector) Fill(set, way int, a cache.AccessInfo) {
+	p.base.Fill(set, way, a)
+	p.observeMiss(set)
+	p.fillsSeen++
+	if a.PredictedShared {
+		p.fillsHinted++
+	}
+	if p.fillsSeen >= gateWindow {
+		p.fillsSeen /= 2
+		p.fillsHinted /= 2
+	}
+	ln := &p.lines[set*p.ways+way]
+	*ln = line{}
+	if !p.aware(set) {
+		return
+	}
+	if !a.PredictedShared {
+		if !p.opts.NoDemote && p.demoteActive() {
+			if d, ok := p.base.(Demoter); ok {
+				d.Demote(set, way)
+				p.stats.Demotions++
+			}
+		}
+		return
+	}
+	p.stats.ProtectedFills++
+	// Promote to the base policy's highest-protection position (MRU for
+	// stack policies, RRPV 0 for the RRIP family) — via Promote when the
+	// base offers a training-free promotion, otherwise via Hit.
+	if pr, ok := p.base.(Promoter); ok {
+		pr.Promote(set, way)
+	} else {
+		p.base.Hit(set, way, a)
+	}
+	p.stats.Promotions++
+	if p.opts.Strength >= Full {
+		ln.protected = true
+		ln.fillCore = a.Core
+		ln.skipsLeft = p.opts.SkipBudget
+		if p.opts.SkipBudget < 0 {
+			ln.skipsLeft = 1 // unused sentinel; charge() ignores it
+		}
+	}
+}
+
+// DuelState reports the current selector value and follower decision,
+// for diagnostics.
+func (p *Protector) DuelState() (psel int, useAware bool) { return p.psel, p.useAware }
+
+// Protected reports whether way in set currently holds a protected block.
+// Exposed for tests and detailed analysis.
+func (p *Protector) Protected(set, way int) bool {
+	return p.lines[set*p.ways+way].protected
+}

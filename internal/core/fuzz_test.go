@@ -1,0 +1,113 @@
+package core_test
+
+// Cross-package robustness suite: the Protector wrapped around every
+// catalogue policy, driven with random streams and random hint patterns,
+// under every option combination. The assertions are the wrapper's
+// structural invariants — the cache itself panics on malformed victims,
+// so survival plus counter consistency is the contract.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/core"
+	"sharellc/internal/policy"
+	"sharellc/internal/rng"
+	"sharellc/internal/trace"
+)
+
+func TestProtectorOverEveryPolicyFuzz(t *testing.T) {
+	optionSets := []core.Options{
+		{Strength: core.InsertOnly},
+		{Strength: core.Full},
+		{Strength: core.Full, NoDemote: true},
+		{Strength: core.Full, SkipBudget: 1},
+		{Strength: core.Full, SkipBudget: -1},
+		{Strength: core.Full, ClearOnFulfil: true},
+		{Strength: core.Full, Duel: true},
+	}
+	for _, f := range policy.Catalogue(11) {
+		base := f()
+		name := base.Name()
+		t.Run(name, func(t *testing.T) {
+			for oi, opts := range optionSets {
+				mk, err := policy.ByName(name, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := core.NewProtectorOpts(mk(), opts)
+				c, err := cache.NewSetAssoc(32*trace.BlockSize, 4, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rnd := rng.New(uint64(oi) + 99)
+				var hits, misses uint64
+				for i := 0; i < 15000; i++ {
+					a := cache.AccessInfo{
+						Block:           rnd.Uint64n(128),
+						Core:            uint8(rnd.Intn(8)),
+						PC:              0x400 + rnd.Uint64n(64)*4,
+						Write:           rnd.Bool(0.3),
+						PredictedShared: rnd.Bool(0.25),
+						NextUse:         int64(i) + int64(rnd.Intn(50)),
+					}
+					if c.Access(a).Hit {
+						hits++
+					} else {
+						misses++
+					}
+				}
+				if hits+misses != 15000 {
+					t.Fatalf("opts %d: lost accesses", oi)
+				}
+				st := p.Stats()
+				if st.Promotions > st.ProtectedFills {
+					t.Errorf("opts %d: promotions %d exceed protected fills %d", oi, st.Promotions, st.ProtectedFills)
+				}
+				if opts.Strength == core.InsertOnly && (st.Exclusions != 0 || st.Lockouts != 0 || st.Expired != 0) {
+					t.Errorf("opts %d: insert-only produced victim-side stats %+v", oi, st)
+				}
+				if opts.NoDemote && st.Demotions != 0 {
+					t.Errorf("opts %d: NoDemote produced %d demotions", oi, st.Demotions)
+				}
+				if got := len(c.Contents()); got > 32 {
+					t.Errorf("opts %d: %d resident blocks exceed capacity", oi, got)
+				}
+			}
+		})
+	}
+}
+
+// TestProtectorQuickInvariants drives random short streams through the
+// Full wrapper over LRU and checks that protection never outlives the
+// block: an evicted block's way must come back unprotected on refill.
+func TestProtectorQuickInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rnd := rng.New(seed)
+		p := core.NewProtectorOpts(policy.NewLRUPolicy(), core.Options{Strength: core.Full})
+		c, err := cache.NewSetAssoc(4*trace.BlockSize, 4, p)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 2000; i++ {
+			a := cache.AccessInfo{
+				Block:           rnd.Uint64n(16),
+				Core:            uint8(rnd.Intn(4)),
+				PredictedShared: rnd.Bool(0.5),
+			}
+			r := c.Access(a)
+			if !r.Hit && !a.PredictedShared {
+				// The way just filled with an unhinted block must not
+				// be protected.
+				if p.Protected(r.Set, r.Way) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package oracle implements the paper's generic sharing oracle study: a
+// two-pass experiment that quantifies, for any base replacement policy,
+// the headroom available from perfect fill-time knowledge of sharing.
+//
+// Pass 1 replays the LLC stream under the bare base policy and records,
+// for every fill, whether that residency became shared (≥ 2 cores). Pass 2
+// replays the identical stream with the base policy wrapped in the
+// sharing-aware protector (internal/core), feeding each fill the recorded
+// bit. This matches the paper's oracle definition: "the LLC controller
+// [can] accurately predict, at the time a block is filled into the LLC,
+// whether the block will be shared during its residency in the LLC" —
+// residency outcomes are defined by the base policy's own eviction
+// schedule, exactly as a wrapper-style oracle must.
+package oracle
+
+import (
+	"fmt"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/core"
+	"sharellc/internal/sharing"
+	"sharellc/internal/trace"
+)
+
+// Result pairs the two passes of one oracle study.
+type Result struct {
+	Base   *sharing.Result // pass 1: bare policy
+	Oracle *sharing.Result // pass 2: policy + oracle protection
+	Stats  core.Stats      // protector intervention counters from pass 2
+}
+
+// MissReduction returns the fractional reduction in LLC misses achieved
+// by adding the oracle: (baseMisses - oracleMisses) / baseMisses. It is
+// negative when protection hurt (possible for already-sharing-friendly
+// policies), and 0 for a missless base run.
+func (r *Result) MissReduction() float64 {
+	if r.Base.Misses == 0 {
+		return 0
+	}
+	return float64(int64(r.Base.Misses)-int64(r.Oracle.Misses)) / float64(r.Base.Misses)
+}
+
+// Run performs the two-pass oracle study for one policy on one stream
+// with default protection options.
+func Run(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() cache.Policy, strength core.Strength) (*Result, error) {
+	return RunOpts(stream, llcSize, llcWays, newPolicy, core.Options{Strength: strength})
+}
+
+// HorizonFactor scales the sharing-lookahead horizon: a block is hinted
+// shared at stream index i when another core touches it within
+// HorizonFactor × (LLC capacity in blocks) stream positions. An LLC
+// residency spans roughly one capacity's worth of fills, and fills are a
+// fraction of stream accesses, so a small multiple of the capacity is the
+// natural residency-scale window.
+const HorizonFactor = 4
+
+// SharedHints computes, for every position i of the LLC stream, whether
+// block stream[i].Block is accessed by a core other than stream[i].Core
+// within the next horizon stream positions. This is the oracle's
+// knowledge: a pure trace property, so it stays valid at whatever point
+// the protected run's fills diverge from the base run's (unlike
+// residency-outcome bits, which are only defined for the base schedule's
+// own fills).
+func SharedHints(stream []cache.AccessInfo, horizon int64) []bool {
+	hints := make([]bool, len(stream))
+	// Group access positions per block, then two-pointer each group.
+	positions := make(map[uint64][]int32, 1<<16)
+	if len(stream) > 1<<31-1 {
+		panic("oracle: stream too long for int32 positions")
+	}
+	for i := range stream {
+		b := stream[i].Block
+		positions[b] = append(positions[b], int32(i))
+	}
+	for _, ps := range positions {
+		for j, pj := range ps {
+			cj := stream[pj].Core
+			for l := j + 1; l < len(ps); l++ {
+				pl := ps[l]
+				if int64(pl)-int64(pj) > horizon {
+					break
+				}
+				if stream[pl].Core != cj {
+					hints[pj] = true
+					break
+				}
+			}
+		}
+	}
+	return hints
+}
+
+// RunOpts performs the two-pass oracle study with explicit protection
+// options and the default sharing horizon. newPolicy must return a fresh
+// instance on each call (the two passes must not share trained state).
+func RunOpts(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() cache.Policy, opts core.Options) (*Result, error) {
+	return RunHorizon(stream, llcSize, llcWays, newPolicy, opts, HorizonFactor)
+}
+
+// RunHorizon is RunOpts with an explicit horizon factor (the sharing
+// lookahead window in multiples of the LLC capacity); the A4 ablation
+// sweeps it.
+func RunHorizon(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() cache.Policy, opts core.Options, horizonFactor int) (*Result, error) {
+	if horizonFactor < 1 {
+		return nil, fmt.Errorf("oracle: horizon factor %d < 1", horizonFactor)
+	}
+	base, err := sharing.Replay(stream, llcSize, llcWays, newPolicy(), sharing.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: pass 1: %w", err)
+	}
+	prot := core.NewProtectorOpts(newPolicy(), opts)
+	horizon := int64(horizonFactor) * int64(llcSize/trace.BlockSize)
+	hints := SharedHints(stream, horizon)
+	opt := sharing.Options{Hooks: sharing.Hooks{
+		PredictShared: func(a cache.AccessInfo) bool { return hints[a.Index] },
+	}}
+	orc, err := sharing.Replay(stream, llcSize, llcWays, prot, opt)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: pass 2: %w", err)
+	}
+	return &Result{Base: base, Oracle: orc, Stats: prot.Stats()}, nil
+}

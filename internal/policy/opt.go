@@ -1,0 +1,76 @@
+package policy
+
+import (
+	"sharellc/internal/cache"
+)
+
+// OPT is Belady's offline-optimal replacement policy: evict the resident
+// block whose next reference lies farthest in the future (preferring
+// blocks that are never referenced again). It is exact when the replayed
+// stream carries precomputed next-use indices (cache.AnnotateNextUse);
+// accesses lacking annotation are treated as never-reused.
+//
+// OPT is the paper's yardstick for how much room any realistic policy —
+// sharing-aware or not — has left.
+type OPT struct {
+	ways    int
+	nextUse []int64
+	rankBuf []int
+}
+
+// NewOPT returns a Belady OPT policy.
+func NewOPT() *OPT { return &OPT{} }
+
+// Name implements cache.Policy.
+func (p *OPT) Name() string { return "opt" }
+
+// Attach implements cache.Policy.
+func (p *OPT) Attach(sets, ways int) {
+	p.ways = ways
+	p.nextUse = make([]int64, sets*ways)
+	for i := range p.nextUse {
+		p.nextUse[i] = cache.NoNextUse
+	}
+}
+
+// Hit implements cache.Policy: the line's horizon advances to the
+// access's own next use.
+func (p *OPT) Hit(set, way int, a cache.AccessInfo) {
+	p.nextUse[set*p.ways+way] = a.NextUse
+}
+
+// Fill implements cache.Policy.
+func (p *OPT) Fill(set, way int, a cache.AccessInfo) {
+	p.nextUse[set*p.ways+way] = a.NextUse
+}
+
+// Victim implements cache.Policy: farthest next use wins; never-reused
+// lines (NoNextUse) beat everything. Ties go to the lowest way.
+func (p *OPT) Victim(set int, _ cache.AccessInfo) int {
+	base := set * p.ways
+	victim, best := 0, p.horizonAt(base)
+	for w := 1; w < p.ways; w++ {
+		if h := p.horizonAt(base + w); h > best {
+			victim, best = w, h
+		}
+	}
+	return victim
+}
+
+// RankVictims implements VictimRanker: farthest next use first.
+func (p *OPT) RankVictims(set int, _ cache.AccessInfo) []int {
+	base := set * p.ways
+	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
+		return p.horizonAt(base + w)
+	}, p.rankBuf)
+	return p.rankBuf
+}
+
+// horizonAt maps NoNextUse to a value beyond any real stream index so
+// never-reused lines always rank first.
+func (p *OPT) horizonAt(idx int) int64 {
+	if h := p.nextUse[idx]; h != cache.NoNextUse {
+		return h
+	}
+	return 1 << 62
+}

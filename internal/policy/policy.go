@@ -1,0 +1,99 @@
+// Package policy implements the LLC replacement policies studied by the
+// paper: the LRU baseline, a catalogue of "recent proposals" from the
+// 2008-2013 literature (NRU, LIP/BIP/DIP, SRRIP/BRRIP/DRRIP, SHiP), simple
+// references (Random, FIFO) and the offline-optimal Belady OPT policy.
+//
+// Every policy implements cache.Policy. Policies that can enumerate their
+// eviction preference order additionally implement VictimRanker, which the
+// sharing-aware protection wrapper in internal/core uses to skip protected
+// blocks while otherwise honouring the base policy's ordering.
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/rng"
+)
+
+// VictimRanker is implemented by policies that can rank every way of a set
+// from most-preferred victim to least-preferred. The returned slice has
+// one entry per way and is valid until the next call.
+type VictimRanker interface {
+	RankVictims(set int, a cache.AccessInfo) []int
+}
+
+// Factory constructs a fresh policy instance. Policies carry per-cache
+// state, so each simulated cache needs its own instance; experiments pass
+// factories around instead of instances.
+type Factory func() cache.Policy
+
+// Catalogue returns the named policy factories in presentation order:
+// baselines first, then the recent proposals, then OPT.
+//
+// Policies that flip coins (Random, BIP, BRRIP, DRRIP) are seeded from
+// seed so that whole experiments stay deterministic.
+func Catalogue(seed uint64) []Factory {
+	return []Factory{
+		func() cache.Policy { return NewLRUPolicy() },
+		func() cache.Policy { return NewRandom(rng.New(seed ^ 0x1)) },
+		func() cache.Policy { return NewFIFO() },
+		func() cache.Policy { return NewNRU() },
+		func() cache.Policy { return NewPLRU() },
+		func() cache.Policy { return NewLIP() },
+		func() cache.Policy { return NewBIP(rng.New(seed ^ 0x2)) },
+		func() cache.Policy { return NewDIP(rng.New(seed ^ 0x3)) },
+		func() cache.Policy { return NewSRRIP() },
+		func() cache.Policy { return NewBRRIP(rng.New(seed ^ 0x4)) },
+		func() cache.Policy { return NewDRRIP(rng.New(seed ^ 0x5)) },
+		func() cache.Policy { return NewSHiP() },
+		func() cache.Policy { return NewSHiPS() },
+		func() cache.Policy { return NewOPT() },
+	}
+}
+
+// ByName returns a factory for the named policy, or an error listing the
+// valid names. Names match Policy.Name values.
+func ByName(name string, seed uint64) (Factory, error) {
+	for _, f := range Catalogue(seed) {
+		if f().Name() == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q (have %v)", name, Names(seed))
+}
+
+// Names lists the catalogue policy names in order.
+func Names(seed uint64) []string {
+	var names []string
+	for _, f := range Catalogue(seed) {
+		names = append(names, f().Name())
+	}
+	return names
+}
+
+// Realistic reports whether the named policy is implementable in hardware
+// (everything except Belady OPT).
+func Realistic(name string) bool { return name != "opt" }
+
+// rankByKey is a helper for VictimRanker implementations: it returns way
+// indices sorted by descending key (higher key = better victim), breaking
+// ties by ascending way index for determinism.
+func rankByKey(ways int, key func(way int) int64, buf []int) []int {
+	if cap(buf) < ways {
+		buf = make([]int, ways)
+	}
+	buf = buf[:ways]
+	for i := range buf {
+		buf[i] = i
+	}
+	sort.SliceStable(buf, func(i, j int) bool {
+		ki, kj := key(buf[i]), key(buf[j])
+		if ki != kj {
+			return ki > kj
+		}
+		return buf[i] < buf[j]
+	})
+	return buf
+}

@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"sharellc/internal/cache"
+	"sharellc/internal/rng"
+)
+
+// rripBits is the RRPV width used by the RRIP family (2 bits, as in the
+// original ISCA'10 proposal and in the paper's policy comparison).
+const rripBits = 2
+
+// rripMax is the "distant re-reference" RRPV value.
+const rripMax = 1<<rripBits - 1
+
+// rripCore holds the per-line re-reference prediction values and the
+// shared victim search of SRRIP/BRRIP/DRRIP/SHiP.
+type rripCore struct {
+	ways    int
+	rrpv    []uint8
+	rankBuf []int
+}
+
+func (p *rripCore) Attach(sets, ways int) {
+	p.ways = ways
+	p.rrpv = make([]uint8, sets*ways)
+	// Empty ways start at distant so cold sets fill predictably, though
+	// the cache fills invalid ways without consulting the policy anyway.
+	for i := range p.rrpv {
+		p.rrpv[i] = rripMax
+	}
+}
+
+// hit promotes the line to near-immediate re-reference (hit priority HP).
+func (p *rripCore) Hit(set, way int, _ cache.AccessInfo) {
+	p.rrpv[set*p.ways+way] = 0
+}
+
+// Victim implements the standard RRIP search: find a way at rripMax,
+// aging the whole set until one appears.
+func (p *rripCore) Victim(set int, _ cache.AccessInfo) int {
+	base := set * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] == rripMax {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}
+
+// RankVictims implements VictimRanker: higher RRPV first.
+func (p *rripCore) RankVictims(set int, _ cache.AccessInfo) []int {
+	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
+		return int64(p.rrpv[set*p.ways+w])
+	}, p.rankBuf)
+	return p.rankBuf
+}
+
+// insert sets the fill RRPV of way.
+func (p *rripCore) insert(set, way int, v uint8) { p.rrpv[set*p.ways+way] = v }
+
+// Promote moves way to near-immediate re-reference without touching any
+// training state (core.Promoter).
+func (p *rripCore) Promote(set, way int) { p.rrpv[set*p.ways+way] = 0 }
+
+// Demote moves way to distant re-reference (core.Demoter).
+func (p *rripCore) Demote(set, way int) { p.rrpv[set*p.ways+way] = rripMax }
+
+// SRRIP (static RRIP, Jaleel et al. ISCA'10) inserts fills at RRPV
+// max-1 ("long re-reference interval") and promotes hits to 0.
+type SRRIP struct{ rripCore }
+
+// NewSRRIP returns an SRRIP policy.
+func NewSRRIP() *SRRIP { return &SRRIP{} }
+
+// Name implements cache.Policy.
+func (p *SRRIP) Name() string { return "srrip" }
+
+// Fill implements cache.Policy.
+func (p *SRRIP) Fill(set, way int, _ cache.AccessInfo) { p.insert(set, way, rripMax-1) }
+
+// brripEpsilon is the probability BRRIP inserts at long (rather than
+// distant) re-reference.
+const brripEpsilon = 1.0 / 32
+
+// BRRIP (bimodal RRIP) inserts at distant re-reference most of the time,
+// giving thrash resistance analogous to BIP.
+type BRRIP struct {
+	rripCore
+	rnd *rng.Source
+}
+
+// NewBRRIP returns a BRRIP policy drawing its insertion coin from rnd.
+func NewBRRIP(rnd *rng.Source) *BRRIP { return &BRRIP{rnd: rnd} }
+
+// Name implements cache.Policy.
+func (p *BRRIP) Name() string { return "brrip" }
+
+// Fill implements cache.Policy.
+func (p *BRRIP) Fill(set, way int, _ cache.AccessInfo) {
+	if p.rnd.Bool(brripEpsilon) {
+		p.insert(set, way, rripMax-1)
+	} else {
+		p.insert(set, way, rripMax)
+	}
+}
+
+// DRRIP set-duels SRRIP against BRRIP, the strongest of the paper's
+// "recent proposals" that uses no auxiliary prediction table.
+type DRRIP struct {
+	rripCore
+	rnd  *rng.Source
+	duel duel
+}
+
+// NewDRRIP returns a DRRIP policy.
+func NewDRRIP(rnd *rng.Source) *DRRIP { return &DRRIP{rnd: rnd} }
+
+// Name implements cache.Policy.
+func (p *DRRIP) Name() string { return "drrip" }
+
+// Attach implements cache.Policy.
+func (p *DRRIP) Attach(sets, ways int) {
+	p.rripCore.Attach(sets, ways)
+	p.duel.init(sets)
+}
+
+// Fill implements cache.Policy.
+func (p *DRRIP) Fill(set, way int, _ cache.AccessInfo) {
+	p.duel.observeMiss(set)
+	if p.duel.useA(set) { // A = SRRIP
+		p.insert(set, way, rripMax-1)
+		return
+	}
+	if p.rnd.Bool(brripEpsilon) { // B = BRRIP
+		p.insert(set, way, rripMax-1)
+	} else {
+		p.insert(set, way, rripMax)
+	}
+}

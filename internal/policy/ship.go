@@ -1,0 +1,149 @@
+package policy
+
+import "sharellc/internal/cache"
+
+// SHiP (signature-based hit prediction, Wu et al. MICRO'11) augments
+// SRRIP with a table of saturating counters indexed by a signature of the
+// fill-triggering instruction's PC. Signatures whose past fills tended to
+// die without reuse insert at distant re-reference; the rest insert at
+// long re-reference, as SRRIP does.
+//
+// SHiP is the closest published relative of the paper's PC-indexed sharing
+// predictor — both bet that the fill PC predicts a block's future — which
+// is exactly why the paper includes it in the sharing-awareness
+// comparison.
+type SHiP struct {
+	rripCore
+	shct     []uint8 // signature history counter table
+	lineSig  []uint16
+	lineUsed []bool
+}
+
+// shipTableBits sizes the SHCT at 16K entries, as in the original paper.
+const shipTableBits = 14
+
+// shipCounterMax is the saturating-counter ceiling (3-bit counters).
+const shipCounterMax = 7
+
+// NewSHiP returns a SHiP-PC policy.
+func NewSHiP() *SHiP { return &SHiP{} }
+
+// Name implements cache.Policy.
+func (p *SHiP) Name() string { return "ship" }
+
+// Attach implements cache.Policy.
+func (p *SHiP) Attach(sets, ways int) {
+	p.rripCore.Attach(sets, ways)
+	p.shct = make([]uint8, 1<<shipTableBits)
+	// Start weakly reusable so cold signatures behave like SRRIP.
+	for i := range p.shct {
+		p.shct[i] = 1
+	}
+	p.lineSig = make([]uint16, sets*ways)
+	p.lineUsed = make([]bool, sets*ways)
+}
+
+// Signature hashes a PC into an SHCT index. Exported for the predictor
+// study, which reuses the same signature construction.
+func Signature(pc uint64) uint16 {
+	// Fold the PC down; drop the low 2 bits (instruction alignment).
+	x := pc >> 2
+	x ^= x >> shipTableBits
+	x ^= x >> (2 * shipTableBits)
+	return uint16(x & (1<<shipTableBits - 1))
+}
+
+// Hit implements cache.Policy: promote and mark the line's signature as
+// reused (SHCT increments once per residency, on first reuse).
+func (p *SHiP) Hit(set, way int, a cache.AccessInfo) {
+	p.rripCore.Hit(set, way, a)
+	idx := set*p.ways + way
+	if !p.lineUsed[idx] {
+		p.lineUsed[idx] = true
+		if c := p.shct[p.lineSig[idx]]; c < shipCounterMax {
+			p.shct[p.lineSig[idx]] = c + 1
+		}
+	}
+}
+
+// Victim implements cache.Policy: before the line chosen by the RRIP
+// search is displaced, a dead-on-eviction residency trains its signature
+// down.
+func (p *SHiP) Victim(set int, a cache.AccessInfo) int {
+	way := p.rripCore.Victim(set, a)
+	p.ObserveEvict(set, way)
+	return way
+}
+
+// ObserveEvict trains the SHCT when a line leaves the cache without reuse.
+// It is called by Victim, and directly by wrappers (core.Protector) that
+// choose the victim from RankVictims instead of via Victim.
+func (p *SHiP) ObserveEvict(set, way int) {
+	idx := set*p.ways + way
+	if !p.lineUsed[idx] {
+		if c := p.shct[p.lineSig[idx]]; c > 0 {
+			p.shct[p.lineSig[idx]] = c - 1
+		}
+	}
+}
+
+// Fill implements cache.Policy.
+func (p *SHiP) Fill(set, way int, a cache.AccessInfo) {
+	sig := Signature(a.PC)
+	idx := set*p.ways + way
+	p.lineSig[idx] = sig
+	p.lineUsed[idx] = false
+	if p.shct[sig] == 0 {
+		p.insert(set, way, rripMax) // predicted dead: distant
+	} else {
+		p.insert(set, way, rripMax-1) // SRRIP default: long
+	}
+}
+
+// SHiPS ("SHiP-S") is the sharing-aware SHiP variant this paper's
+// characterization motivates — a concrete instance of its future-work
+// direction. The SHCT trains on *cross-core* reuse: a hit from a core
+// other than the filler counts double, so fill sites that produce shared
+// blocks saturate toward protected insertion while sites producing
+// single-use private streams train toward distant insertion. Confident
+// sharing sites additionally insert at RRPV 0.
+type SHiPS struct {
+	SHiP
+	lineCore []uint8
+}
+
+// NewSHiPS returns the sharing-aware SHiP variant.
+func NewSHiPS() *SHiPS { return &SHiPS{} }
+
+// Name implements cache.Policy.
+func (p *SHiPS) Name() string { return "ship-s" }
+
+// Attach implements cache.Policy.
+func (p *SHiPS) Attach(sets, ways int) {
+	p.SHiP.Attach(sets, ways)
+	p.lineCore = make([]uint8, sets*ways)
+}
+
+// Hit implements cache.Policy: cross-core reuse trains the signature a
+// second step.
+func (p *SHiPS) Hit(set, way int, a cache.AccessInfo) {
+	idx := set*p.ways + way
+	firstReuse := !p.lineUsed[idx]
+	p.SHiP.Hit(set, way, a)
+	if firstReuse && a.Core != p.lineCore[idx] {
+		if c := p.shct[p.lineSig[idx]]; c < shipCounterMax {
+			p.shct[p.lineSig[idx]] = c + 1
+		}
+	}
+}
+
+// Fill implements cache.Policy: remember the filler and let confident
+// sharing sites insert at the most-protected position.
+func (p *SHiPS) Fill(set, way int, a cache.AccessInfo) {
+	p.SHiP.Fill(set, way, a)
+	idx := set*p.ways + way
+	p.lineCore[idx] = a.Core
+	if p.shct[p.lineSig[idx]] >= shipCounterMax-1 {
+		p.insert(set, way, 0) // confident sharing site: near-immediate
+	}
+}

@@ -1,0 +1,368 @@
+package policy
+
+import (
+	"sharellc/internal/cache"
+	"sharellc/internal/rng"
+)
+
+// LRUPolicy wraps cache.LRU (which lives in package cache so the private
+// levels can use it without importing the catalogue) and adds victim
+// ranking for the protection wrapper.
+type LRUPolicy struct {
+	cache.LRU
+	rankBuf []int
+}
+
+// NewLRUPolicy returns the LRU baseline.
+func NewLRUPolicy() *LRUPolicy { return &LRUPolicy{} }
+
+// RankVictims implements VictimRanker: least-recent first.
+func (p *LRUPolicy) RankVictims(set int, _ cache.AccessInfo) []int {
+	ways := p.Ways()
+	p.rankBuf = rankByKey(ways, func(w int) int64 {
+		// Lower stamp = older = better victim, so negate.
+		return -int64(p.Stamp(set, w))
+	}, p.rankBuf)
+	return p.rankBuf
+}
+
+// Random evicts a uniformly random way. It is the weakest reference point
+// in the catalogue and a sanity check for the experiment harness.
+type Random struct {
+	ways int
+	rnd  *rng.Source
+}
+
+// NewRandom returns a Random policy drawing from rnd.
+func NewRandom(rnd *rng.Source) *Random { return &Random{rnd: rnd} }
+
+// Name implements cache.Policy.
+func (p *Random) Name() string { return "random" }
+
+// Attach implements cache.Policy.
+func (p *Random) Attach(sets, ways int) { p.ways = ways }
+
+// Hit implements cache.Policy.
+func (p *Random) Hit(int, int, cache.AccessInfo) {}
+
+// Fill implements cache.Policy.
+func (p *Random) Fill(int, int, cache.AccessInfo) {}
+
+// Victim implements cache.Policy.
+func (p *Random) Victim(int, cache.AccessInfo) int { return p.rnd.Intn(p.ways) }
+
+// FIFO evicts in fill order, ignoring hits.
+type FIFO struct {
+	ways    int
+	stamp   []int64
+	clock   int64
+	rankBuf []int
+}
+
+// NewFIFO returns a FIFO policy.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements cache.Policy.
+func (p *FIFO) Name() string { return "fifo" }
+
+// Attach implements cache.Policy.
+func (p *FIFO) Attach(sets, ways int) {
+	p.ways = ways
+	p.stamp = make([]int64, sets*ways)
+	p.clock = 0
+}
+
+// Hit implements cache.Policy. FIFO ignores hits.
+func (p *FIFO) Hit(int, int, cache.AccessInfo) {}
+
+// Fill implements cache.Policy.
+func (p *FIFO) Fill(set, way int, _ cache.AccessInfo) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+// Demote moves way to the front of the eviction queue (core.Demoter).
+func (p *FIFO) Demote(set, way int) {
+	base := set * p.ways
+	min := p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < min {
+			min = s
+		}
+	}
+	p.stamp[set*p.ways+way] = min - 1
+}
+
+// Victim implements cache.Policy: the oldest fill.
+func (p *FIFO) Victim(set int, _ cache.AccessInfo) int {
+	base := set * p.ways
+	victim, min := 0, p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < min {
+			victim, min = w, s
+		}
+	}
+	return victim
+}
+
+// RankVictims implements VictimRanker: oldest fill first.
+func (p *FIFO) RankVictims(set int, _ cache.AccessInfo) []int {
+	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
+		return -p.stamp[set*p.ways+w]
+	}, p.rankBuf)
+	return p.rankBuf
+}
+
+// NRU is the not-recently-used policy found in commercial LLCs: one
+// reference bit per line. Fills and hits set the bit; the victim is the
+// lowest-numbered way with a clear bit, and when all bits in a set are set
+// they are cleared (except the just-used way's semantics follow the usual
+// formulation: clear all, then pick way 0).
+type NRU struct {
+	ways    int
+	ref     []bool
+	rankBuf []int
+}
+
+// NewNRU returns an NRU policy.
+func NewNRU() *NRU { return &NRU{} }
+
+// Name implements cache.Policy.
+func (p *NRU) Name() string { return "nru" }
+
+// Attach implements cache.Policy.
+func (p *NRU) Attach(sets, ways int) {
+	p.ways = ways
+	p.ref = make([]bool, sets*ways)
+}
+
+// Hit implements cache.Policy.
+func (p *NRU) Hit(set, way int, _ cache.AccessInfo) { p.ref[set*p.ways+way] = true }
+
+// Fill implements cache.Policy.
+func (p *NRU) Fill(set, way int, _ cache.AccessInfo) { p.ref[set*p.ways+way] = true }
+
+// Demote clears way's reference bit, making it a preferred victim
+// (core.Demoter).
+func (p *NRU) Demote(set, way int) { p.ref[set*p.ways+way] = false }
+
+// Victim implements cache.Policy.
+func (p *NRU) Victim(set int, _ cache.AccessInfo) int {
+	base := set * p.ways
+	for w := 0; w < p.ways; w++ {
+		if !p.ref[base+w] {
+			return w
+		}
+	}
+	// All recently used: age the whole set and take way 0.
+	for w := 0; w < p.ways; w++ {
+		p.ref[base+w] = false
+	}
+	return 0
+}
+
+// RankVictims implements VictimRanker: clear-bit ways first (ascending
+// way), then set-bit ways.
+func (p *NRU) RankVictims(set int, _ cache.AccessInfo) []int {
+	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
+		if p.ref[set*p.ways+w] {
+			return 0
+		}
+		return 1
+	}, p.rankBuf)
+	return p.rankBuf
+}
+
+// lipCore is the shared machinery of LIP and BIP: LRU stamps with
+// configurable insertion position.
+type lipCore struct {
+	ways    int
+	stamp   []int64
+	clock   int64
+	rankBuf []int
+}
+
+func (p *lipCore) Attach(sets, ways int) {
+	p.ways = ways
+	p.stamp = make([]int64, sets*ways)
+	// Start above zero so insertAtLRU's min-1 never collides with the
+	// zero stamps of untouched ways in other sets.
+	p.clock = 1 << 32
+}
+
+func (p *lipCore) Hit(set, way int, _ cache.AccessInfo) { p.touchMRU(set, way) }
+
+// Promote moves way to MRU (core.Promoter).
+func (p *lipCore) Promote(set, way int) { p.touchMRU(set, way) }
+
+// Demote moves way to the LRU position (core.Demoter).
+func (p *lipCore) Demote(set, way int) { p.insertAtLRU(set, way) }
+
+func (p *lipCore) touchMRU(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+// insertAtLRU gives way the smallest stamp in its set, making it the next
+// victim unless it is re-referenced first.
+func (p *lipCore) insertAtLRU(set, way int) {
+	base := set * p.ways
+	min := p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < min {
+			min = s
+		}
+	}
+	p.stamp[base+way] = min - 1
+}
+
+func (p *lipCore) Victim(set int, _ cache.AccessInfo) int {
+	base := set * p.ways
+	victim, min := 0, p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < min {
+			victim, min = w, s
+		}
+	}
+	return victim
+}
+
+func (p *lipCore) RankVictims(set int, _ cache.AccessInfo) []int {
+	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
+		return -p.stamp[set*p.ways+w]
+	}, p.rankBuf)
+	return p.rankBuf
+}
+
+// LIP (LRU-insertion policy, Qureshi et al. ISCA'07) inserts fills at the
+// LRU position so single-use blocks fall out immediately; a hit promotes
+// to MRU.
+type LIP struct{ lipCore }
+
+// NewLIP returns a LIP policy.
+func NewLIP() *LIP { return &LIP{} }
+
+// Name implements cache.Policy.
+func (p *LIP) Name() string { return "lip" }
+
+// Fill implements cache.Policy.
+func (p *LIP) Fill(set, way int, _ cache.AccessInfo) { p.insertAtLRU(set, way) }
+
+// BIP (bimodal insertion policy) is LIP that inserts at MRU with a small
+// probability epsilon (1/32), letting it adapt to slowly-changing working
+// sets.
+type BIP struct {
+	lipCore
+	rnd *rng.Source
+}
+
+// bipEpsilon is the probability BIP inserts at MRU.
+const bipEpsilon = 1.0 / 32
+
+// NewBIP returns a BIP policy drawing its insertion coin from rnd.
+func NewBIP(rnd *rng.Source) *BIP { return &BIP{rnd: rnd} }
+
+// Name implements cache.Policy.
+func (p *BIP) Name() string { return "bip" }
+
+// Fill implements cache.Policy.
+func (p *BIP) Fill(set, way int, _ cache.AccessInfo) {
+	if p.rnd.Bool(bipEpsilon) {
+		p.touchMRU(set, way)
+	} else {
+		p.insertAtLRU(set, way)
+	}
+}
+
+// DIP (dynamic insertion policy) set-duels LRU against BIP: a few leader
+// sets always run one constituent, a saturating counter tracks which
+// leader group misses less, and follower sets adopt the winner.
+type DIP struct {
+	lipCore
+	rnd  *rng.Source
+	duel duel
+}
+
+// NewDIP returns a DIP policy.
+func NewDIP(rnd *rng.Source) *DIP { return &DIP{rnd: rnd} }
+
+// Name implements cache.Policy.
+func (p *DIP) Name() string { return "dip" }
+
+// Attach implements cache.Policy.
+func (p *DIP) Attach(sets, ways int) {
+	p.lipCore.Attach(sets, ways)
+	p.duel.init(sets)
+}
+
+// Fill implements cache.Policy.
+func (p *DIP) Fill(set, way int, a cache.AccessInfo) {
+	p.duel.observeMiss(set)
+	if p.duel.useA(set) { // constituent A = LRU
+		p.touchMRU(set, way)
+		return
+	}
+	// Constituent B = BIP.
+	if p.rnd.Bool(bipEpsilon) {
+		p.touchMRU(set, way)
+	} else {
+		p.insertAtLRU(set, way)
+	}
+}
+
+// duel implements set-dueling (Qureshi et al.): leader sets for
+// constituents A and B and a 10-bit policy-selection counter that counts
+// misses in A-leaders up and misses in B-leaders down. Followers use A
+// while the counter is below the midpoint.
+type duel struct {
+	period int // leader spacing
+	psel   int
+	max    int
+}
+
+func (d *duel) init(sets int) {
+	d.period = 64
+	if sets < d.period {
+		d.period = sets // degenerate small caches: every set duels
+	}
+	d.max = 1 << 10
+	d.psel = d.max / 2
+}
+
+// kind reports the role of set: +1 A-leader, -1 B-leader, 0 follower.
+func (d *duel) kind(set int) int {
+	switch set % d.period {
+	case 0:
+		return +1
+	case d.period/2 + 1:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// observeMiss updates the selector when a miss (fill) happens in a leader.
+func (d *duel) observeMiss(set int) {
+	switch d.kind(set) {
+	case +1:
+		if d.psel < d.max-1 {
+			d.psel++
+		}
+	case -1:
+		if d.psel > 0 {
+			d.psel--
+		}
+	}
+}
+
+// useA reports whether set should run constituent A.
+func (d *duel) useA(set int) bool {
+	switch d.kind(set) {
+	case +1:
+		return true
+	case -1:
+		return false
+	default:
+		return d.psel < d.max/2
+	}
+}

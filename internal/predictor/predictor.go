@@ -1,0 +1,189 @@
+// Package predictor implements the paper's two realistic history-based
+// fill-time sharing predictors:
+//
+//   - the address-indexed predictor, which bets that a block that was
+//     shared during its previous LLC residency will be shared again, and
+//   - the PC-indexed predictor, which bets that fills triggered by the
+//     same instruction produce blocks with the same sharing behaviour.
+//
+// Both are tables of saturating counters trained at residency end (the
+// natural hardware training point: the LLC knows the outcome when the
+// block is evicted) and consulted at fill time. The paper's conclusion —
+// which the F7/F8 experiments reproduce — is that neither history source
+// correlates strongly enough with active sharing phases to recover more
+// than a fraction of the oracle's gain.
+package predictor
+
+import (
+	"fmt"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/policy"
+	"sharellc/internal/sharing"
+)
+
+// Predictor is a fill-time sharing predictor: Predict is consulted when a
+// block is filled into the LLC, Train when a residency ends with a known
+// outcome.
+type Predictor interface {
+	Name() string
+	Predict(a cache.AccessInfo) bool
+	Train(r sharing.Residency)
+}
+
+// Config sizes a table predictor.
+type Config struct {
+	// TableBits is log2 of the number of counters (untagged,
+	// direct-mapped, as cheap hardware would build it).
+	TableBits int
+	// CounterBits is the width of each saturating counter.
+	CounterBits int
+	// Threshold is the minimum counter value that predicts "shared".
+	Threshold uint8
+}
+
+// DefaultConfig matches a modest hardware budget: 16K 2-bit counters with
+// a weakly-taken threshold.
+func DefaultConfig() Config {
+	return Config{TableBits: 14, CounterBits: 2, Threshold: 2}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.TableBits < 1 || c.TableBits > 28 {
+		return fmt.Errorf("predictor: TableBits %d outside [1,28]", c.TableBits)
+	}
+	if c.CounterBits < 1 || c.CounterBits > 8 {
+		return fmt.Errorf("predictor: CounterBits %d outside [1,8]", c.CounterBits)
+	}
+	if max := uint8(1<<c.CounterBits - 1); c.Threshold > max {
+		return fmt.Errorf("predictor: Threshold %d exceeds counter max %d", c.Threshold, max)
+	}
+	return nil
+}
+
+// table is the shared machinery: saturating counters with hysteresis
+// (increment on shared outcome, decrement on private outcome).
+type table struct {
+	counters []uint8
+	max      uint8
+	thresh   uint8
+	mask     uint64
+}
+
+func newTable(cfg Config) (*table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &table{
+		counters: make([]uint8, 1<<cfg.TableBits),
+		max:      uint8(1<<cfg.CounterBits - 1),
+		thresh:   cfg.Threshold,
+		mask:     uint64(1<<cfg.TableBits - 1),
+	}
+	// Initialize counters just below threshold so a single shared
+	// outcome flips the entry to predicting shared.
+	init := uint8(0)
+	if t.thresh > 0 {
+		init = t.thresh - 1
+	}
+	for i := range t.counters {
+		t.counters[i] = init
+	}
+	return t, nil
+}
+
+func (t *table) index(key uint64) uint64 {
+	// Fibonacci hashing spreads low-entropy keys across the table.
+	return (key * 0x9E3779B97F4A7C15) >> 32 & t.mask
+}
+
+func (t *table) predict(key uint64) bool {
+	return t.counters[t.index(key)] >= t.thresh
+}
+
+func (t *table) train(key uint64, shared bool) {
+	i := t.index(key)
+	if shared {
+		if t.counters[i] < t.max {
+			t.counters[i]++
+		}
+	} else if t.counters[i] > 0 {
+		t.counters[i]--
+	}
+}
+
+// Address is the block-address-indexed predictor: its key is the block
+// number, so it learns per-datum sharing history.
+type Address struct{ t *table }
+
+// NewAddress builds an address-indexed predictor.
+func NewAddress(cfg Config) (*Address, error) {
+	t, err := newTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Address{t: t}, nil
+}
+
+// Name implements Predictor.
+func (p *Address) Name() string { return "addr" }
+
+// Predict implements Predictor.
+func (p *Address) Predict(a cache.AccessInfo) bool { return p.t.predict(a.Block) }
+
+// Train implements Predictor.
+func (p *Address) Train(r sharing.Residency) { p.t.train(r.Block, r.Shared()) }
+
+// PC is the program-counter-indexed predictor: its key is the SHiP-style
+// signature of the fill-triggering instruction, so it learns per-code-site
+// sharing history.
+type PC struct{ t *table }
+
+// NewPC builds a PC-indexed predictor.
+func NewPC(cfg Config) (*PC, error) {
+	t, err := newTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PC{t: t}, nil
+}
+
+// Name implements Predictor.
+func (p *PC) Name() string { return "pc" }
+
+// Predict implements Predictor.
+func (p *PC) Predict(a cache.AccessInfo) bool {
+	return p.t.predict(uint64(policy.Signature(a.PC)))
+}
+
+// Train implements Predictor.
+func (p *PC) Train(r sharing.Residency) {
+	p.t.train(uint64(policy.Signature(r.FillPC)), r.Shared())
+}
+
+// Always predicts every fill shared; Never predicts none. They bracket the
+// table predictors in the accuracy study (F7) and expose the base-rate of
+// sharing in each workload.
+type Always struct{}
+
+// Name implements Predictor.
+func (Always) Name() string { return "always" }
+
+// Predict implements Predictor.
+func (Always) Predict(cache.AccessInfo) bool { return true }
+
+// Train implements Predictor.
+func (Always) Train(sharing.Residency) {}
+
+// Never is the complement of Always.
+type Never struct{}
+
+// Name implements Predictor.
+func (Never) Name() string { return "never" }
+
+// Predict implements Predictor.
+func (Never) Predict(cache.AccessInfo) bool { return false }
+
+// Train implements Predictor.
+func (Never) Train(sharing.Residency) {}

@@ -1,0 +1,56 @@
+package predictor
+
+import (
+	"fmt"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/core"
+	"sharellc/internal/sharing"
+)
+
+// Evaluate measures a predictor's fill-time accuracy without letting it
+// influence replacement (experiment F7): the base policy runs untouched
+// while the predictor predicts at each fill and trains at each residency
+// end. The returned result's Pred field holds the confusion matrix.
+func Evaluate(stream []cache.AccessInfo, llcSize, llcWays int, p cache.Policy, pred Predictor) (*sharing.Result, error) {
+	opt := sharing.Options{Hooks: hooksFor(pred)}
+	res, err := sharing.Replay(stream, llcSize, llcWays, p, opt)
+	if err != nil {
+		return nil, fmt.Errorf("predictor: evaluating %s: %w", pred.Name(), err)
+	}
+	return res, nil
+}
+
+// Drive runs a predictor end-to-end (experiment F8): the base policy is
+// wrapped in the sharing-aware protector and the predictor's fill-time
+// output steers protection, while training continues online from actual
+// residency outcomes. This is the realistic counterpart of oracle.Run's
+// pass 2.
+func Drive(stream []cache.AccessInfo, llcSize, llcWays int, base cache.Policy, pred Predictor, strength core.Strength) (*sharing.Result, core.Stats, error) {
+	return DriveOpts(stream, llcSize, llcWays, base, pred, core.Options{Strength: strength})
+}
+
+// DriveOpts is Drive with explicit protection options.
+func DriveOpts(stream []cache.AccessInfo, llcSize, llcWays int, base cache.Policy, pred Predictor, opts core.Options) (*sharing.Result, core.Stats, error) {
+	prot := core.NewProtectorOpts(base, opts)
+	opt := sharing.Options{Hooks: hooksFor(pred)}
+	res, err := sharing.Replay(stream, llcSize, llcWays, prot, opt)
+	if err != nil {
+		return nil, core.Stats{}, fmt.Errorf("predictor: driving %s: %w", pred.Name(), err)
+	}
+	return res, prot.Stats(), nil
+}
+
+// hooksFor wires a predictor into the replay: fill-time prediction,
+// residency training, and — for predictors that watch every access (the
+// coherence-assisted predictor) — the per-access observation feed.
+func hooksFor(pred Predictor) sharing.Hooks {
+	h := sharing.Hooks{
+		PredictShared:  pred.Predict,
+		OnResidencyEnd: pred.Train,
+	}
+	if o, ok := pred.(AccessObserver); ok {
+		h.OnAccess = o.Observe
+	}
+	return h
+}

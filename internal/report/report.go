@@ -1,0 +1,144 @@
+// Package report renders experiment results as aligned ASCII tables (the
+// repository's equivalent of the paper's figures and tables) and as CSV
+// for downstream plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Note    string // optional caption printed under the title
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable starts a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells beyond the header count are rejected.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Headers) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// MustRow is AddRow for construction sites where a mismatch is a
+// programming error.
+func (t *Table) MustRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// Render writes the table as aligned text. The first column is
+// left-aligned (labels), the rest right-aligned (numbers).
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderMarkdown writes the table as a GitHub-flavoured markdown table,
+// with the title as a heading and the note as a caption line.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	row := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Headers)
+	b.WriteByte('|')
+	for range t.Headers {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		row(r)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n*%s*\n", t.Note)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (headers first, no title).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// F formats a float with 3 decimals; the house style for fractions.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// N formats an integer count.
+func N(v uint64) string { return fmt.Sprintf("%d", v) }

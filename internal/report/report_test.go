@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "workload", "misses", "rate")
+	tb.Note = "a caption"
+	tb.MustRow("canneal", "123", "0.500")
+	tb.MustRow("fft", "7", "0.010")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== demo ==", "a caption", "workload", "canneal", "fft", "0.010"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Right alignment: the misses column values end at the same offset.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestAddRowArityChecked(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	if err := tb.AddRow("only-one"); err == nil {
+		t.Error("short row accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRow did not panic on arity mismatch")
+		}
+	}()
+	tb.MustRow("1", "2", "3")
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.MustRow("v,1", "2") // comma must be quoted
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"v,1",2`) {
+		t.Errorf("CSV row not quoted: %q", out)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.Note = "caption"
+	tb.MustRow("x|y", "2")
+	var b strings.Builder
+	if err := tb.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### demo", "| a | b |", "|---|---|", `x\|y`, "*caption*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.5) != "0.500" {
+		t.Errorf("F = %q", F(0.5))
+	}
+	if N(42) != "42" {
+		t.Errorf("N = %q", N(42))
+	}
+}
+
+func TestEmptyTableRenders(t *testing.T) {
+	tb := NewTable("", "h")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "h") {
+		t.Error("header missing")
+	}
+}

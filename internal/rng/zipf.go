@@ -1,0 +1,55 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf samples from a bounded Zipf (power-law) distribution over
+// [0, n): P(k) ∝ 1/(k+1)^s. Workload generators use it for the skewed
+// reuse behaviour of real applications — a small hot subset of a region
+// receives most of the touches.
+//
+// The implementation precomputes the CDF once (O(n) memory) and samples by
+// binary search (O(log n) per draw), which is simple, exact and plenty
+// fast for region sizes up to a few hundred thousand blocks.
+type Zipf struct {
+	cdf []float64
+	src *Source
+}
+
+// NewZipf builds a sampler over [0, n) with exponent s >= 0 drawing from
+// src. s = 0 degenerates to the uniform distribution.
+func NewZipf(src *Source, s float64, n int) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rng: Zipf over empty domain (n=%d)", n)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("rng: Zipf exponent %v out of range", s)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("rng: Zipf with nil source")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, src: src}, nil
+}
+
+// N returns the domain size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next draws one sample in [0, N()).
+func (z *Zipf) Next() int {
+	u := z.src.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}

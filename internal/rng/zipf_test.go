@@ -1,0 +1,104 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfValidation(t *testing.T) {
+	src := New(1)
+	if _, err := NewZipf(src, 1, 0); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewZipf(src, -1, 10); err == nil {
+		t.Error("negative exponent accepted")
+	}
+	if _, err := NewZipf(src, math.NaN(), 10); err == nil {
+		t.Error("NaN exponent accepted")
+	}
+	if _, err := NewZipf(nil, 1, 10); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z, err := NewZipf(New(2), 1.2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.N() != 100 {
+		t.Errorf("N = %d", z.N())
+	}
+	for i := 0; i < 10000; i++ {
+		if k := z.Next(); k < 0 || k >= 100 {
+			t.Fatalf("sample %d out of range", k)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(New(3), 1.0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 1000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should dominate: with s=1 over 1000 items, P(0) ≈ 1/H(1000)
+	// ≈ 13%. Check it lands within a loose band and that the head of the
+	// distribution outweighs the tail.
+	p0 := float64(counts[0]) / draws
+	if p0 < 0.10 || p0 > 0.17 {
+		t.Errorf("P(rank 0) = %.3f, want ≈0.13", p0)
+	}
+	head, tail := 0, 0
+	for k, c := range counts {
+		if k < 100 {
+			head += c
+		} else {
+			tail += c
+		}
+	}
+	if head < tail {
+		t.Errorf("head (top 10%%) drew %d < tail %d; no skew", head, tail)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z, err := NewZipf(New(4), 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)-draws/10) > 5*math.Sqrt(draws/10) {
+			t.Errorf("s=0 bucket %d count %d not uniform", k, c)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	mk := func() []int {
+		z, err := NewZipf(New(9), 0.8, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, 100)
+		for i := range out {
+			out[i] = z.Next()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("zipf draws diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/policy"
+	"sharellc/internal/rng"
+	"sharellc/internal/sharing"
+	"sharellc/internal/trace"
+)
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{Interval: 0, Period: 10},
+		{Interval: 10, Period: 5},
+		{Interval: 10, Period: 20, Warmup: -1},
+		{Interval: 10, Period: 20, Warmup: 11},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated: %+v", i, p)
+		}
+	}
+	good := Plan{Interval: 10, Period: 40, Warmup: 20}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+	if got := good.KeptFraction(); got != 0.25 {
+		t.Errorf("KeptFraction = %v", got)
+	}
+}
+
+func mkStream(n int, seed uint64) []cache.AccessInfo {
+	rnd := rng.New(seed)
+	stream := make([]cache.AccessInfo, n)
+	for i := range stream {
+		stream[i] = cache.AccessInfo{
+			Core:  uint8(rnd.Intn(4)),
+			Block: rnd.Uint64n(96),
+			Index: int64(i),
+		}
+	}
+	cache.AnnotateNextUse(stream)
+	return stream
+}
+
+func TestTakeGeometry(t *testing.T) {
+	stream := mkStream(1000, 1)
+	p := Plan{Interval: 100, Period: 250, Warmup: 50}
+	exs, err := Take(stream, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 4 {
+		t.Fatalf("%d excerpts, want 4", len(exs))
+	}
+	// First excerpt starts at 0: no warmup available.
+	if exs[0].CountFrom != 0 || len(exs[0].Accesses) != 100 {
+		t.Errorf("excerpt 0: countFrom=%d len=%d", exs[0].CountFrom, len(exs[0].Accesses))
+	}
+	// Later excerpts carry the full warmup prefix.
+	if exs[1].CountFrom != 50 || len(exs[1].Accesses) != 150 {
+		t.Errorf("excerpt 1: countFrom=%d len=%d", exs[1].CountFrom, len(exs[1].Accesses))
+	}
+	if exs[1].Start != 250 {
+		t.Errorf("excerpt 1 start = %d", exs[1].Start)
+	}
+	// Re-indexed contiguously.
+	for _, ex := range exs {
+		for i, a := range ex.Accesses {
+			if a.Index != int64(i) {
+				t.Fatalf("excerpt index %d = %d", i, a.Index)
+			}
+		}
+	}
+}
+
+func TestFullCoveragePlanIsIdentity(t *testing.T) {
+	stream := mkStream(500, 2)
+	exs, err := Take(stream, Plan{Interval: 500, Period: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 1 || len(exs[0].Accesses) != 500 || exs[0].CountFrom != 0 {
+		t.Fatalf("identity plan mangled the stream")
+	}
+	for i := range stream {
+		a, b := stream[i], exs[0].Accesses[i]
+		if a.Block != b.Block || a.Core != b.Core || a.NextUse != b.NextUse {
+			t.Fatalf("identity excerpt differs at %d", i)
+		}
+	}
+}
+
+// TestSampledMissRateApproximatesFull is the validation experiment: a
+// 25%-sampled replay with warmup lands close to the full replay's miss
+// rate on a stationary stream.
+func TestSampledMissRateApproximatesFull(t *testing.T) {
+	const size, ways = 64 * trace.BlockSize, 4
+	stream := mkStream(40000, 3)
+
+	full, err := sharing.Replay(stream, size, ways, policy.NewLRUPolicy(), sharing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRate := full.MissRate()
+
+	exs, err := Take(stream, Plan{Interval: 1000, Period: 4000, Warmup: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits, misses uint64
+	for _, ex := range exs {
+		res, err := sharing.Replay(ex.Accesses, size, ways, policy.NewLRUPolicy(),
+			sharing.Options{Warmup: ex.CountFrom})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits += res.Hits
+		misses += res.Misses
+	}
+	sampledRate := float64(misses) / float64(hits+misses)
+	if math.Abs(sampledRate-fullRate) > 0.05 {
+		t.Errorf("sampled miss rate %.4f vs full %.4f (off by > 0.05)", sampledRate, fullRate)
+	}
+	// And without warmup the cold-start bias must push the rate UP.
+	var coldMisses, coldHits uint64
+	exsNoWarm, err := Take(stream, Plan{Interval: 1000, Period: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range exsNoWarm {
+		res, err := sharing.Replay(ex.Accesses, size, ways, policy.NewLRUPolicy(), sharing.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldHits += res.Hits
+		coldMisses += res.Misses
+	}
+	coldRate := float64(coldMisses) / float64(coldHits+coldMisses)
+	if coldRate <= sampledRate {
+		t.Errorf("cold-start rate %.4f not above warmed rate %.4f; warmup does nothing?", coldRate, sampledRate)
+	}
+}

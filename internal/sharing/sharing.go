@@ -1,0 +1,366 @@
+// Package sharing implements the paper's characterization substrate: it
+// replays an LLC reference stream through a cache under a chosen
+// replacement policy and tracks, for every block *residency* (fill →
+// eviction), which cores touched the block while it was resident.
+//
+// A residency is **shared** when at least two distinct cores access the
+// block at the LLC during the residency (the fill access counts); it is
+// **private** otherwise. This is the classification the paper uses to
+// split LLC hit volume into shared and private contributions and to define
+// the target of the fill-time sharing oracle and predictors.
+package sharing
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"sharellc/internal/cache"
+)
+
+// Residency records one block's stay in the LLC.
+type Residency struct {
+	Block      uint64
+	FillIndex  int64  // stream index of the access that filled the block
+	FillCore   uint8  // core that triggered the fill
+	FillPC     uint64 // PC that triggered the fill
+	Hits       uint64 // hits received during the residency
+	coreMask   [2]uint64
+	written    bool  // any store touched the residency (fill included)
+	Predicted  bool  // the PredictShared hint attached at fill time
+	EvictIndex int64 // stream index of the evicting access, or -1 if alive at stream end
+}
+
+// addCore marks core as having touched the residency.
+func (r *Residency) addCore(core uint8) {
+	r.coreMask[core>>6] |= 1 << (core & 63)
+}
+
+// Written reports whether any access of the residency was a store. A
+// shared residency with Written is read-write (communication) sharing; a
+// shared residency without is read-only sharing.
+func (r Residency) Written() bool { return r.written }
+
+// Degree returns the number of distinct cores that accessed the block
+// during the residency (at least 1: the filler).
+func (r Residency) Degree() int {
+	return bits.OnesCount64(r.coreMask[0]) + bits.OnesCount64(r.coreMask[1])
+}
+
+// Shared reports whether the residency was accessed by ≥ 2 distinct cores.
+func (r Residency) Shared() bool { return r.Degree() >= 2 }
+
+// Evicted reports whether the residency ended by eviction rather than by
+// the stream running out.
+func (r Residency) Evicted() bool { return r.EvictIndex >= 0 }
+
+// MakeResidency constructs a synthetic residency of block, filled by PC
+// fillPC on core 0 and touched by degree distinct cores (clamped to
+// [1,128]). It exists so predictor training and tests can fabricate
+// ground-truth outcomes without running a replay.
+func MakeResidency(block, fillPC uint64, degree int) Residency {
+	if degree < 1 {
+		degree = 1
+	}
+	if degree > 128 {
+		degree = 128
+	}
+	r := Residency{Block: block, FillPC: fillPC, EvictIndex: -1}
+	for c := 0; c < degree; c++ {
+		r.addCore(uint8(c))
+	}
+	return r
+}
+
+// MakeWrittenResidency is MakeResidency with the store bit set.
+func MakeWrittenResidency(block, fillPC uint64, degree int) Residency {
+	r := MakeResidency(block, fillPC, degree)
+	r.written = true
+	return r
+}
+
+// Hooks lets callers observe and steer the replay. Either field may be nil.
+type Hooks struct {
+	// PredictShared is consulted at fill time; its result is attached to
+	// the fill access as cache.AccessInfo.PredictedShared (the input of
+	// the sharing-aware protection wrapper) and recorded on the
+	// residency for accuracy accounting.
+	PredictShared func(a cache.AccessInfo) bool
+	// OnResidencyEnd fires when a residency closes, either on eviction
+	// or at end of stream. Predictors use it as their training signal.
+	OnResidencyEnd func(r Residency)
+	// OnAccess fires for every stream access, before the cache acts on
+	// it. Observers that maintain their own per-block state (e.g. the
+	// coherence directory feeding the coherence-assisted predictor) hang
+	// off this hook.
+	OnAccess func(a cache.AccessInfo)
+}
+
+// Options configures a Replay.
+type Options struct {
+	// KeepResidencies retains every closed residency in Result for
+	// detailed offline analysis. Costs memory proportional to fills.
+	KeepResidencies bool
+	// Warmup is the number of leading accesses that are simulated (so
+	// cache and predictor state warms up) but excluded from every
+	// counter in Result — the standard discipline for sampled
+	// simulation. Residencies are counted when they close at or after
+	// the warmup boundary.
+	Warmup int
+	Hooks  Hooks
+}
+
+// PredStats accumulates fill-time prediction outcomes against residency
+// ground truth (positive class = shared).
+type PredStats struct {
+	TP, FP, TN, FN uint64
+}
+
+// Total returns the number of classified residencies.
+func (p PredStats) Total() uint64 { return p.TP + p.FP + p.TN + p.FN }
+
+// Accuracy returns (TP+TN)/total, or 0 when empty.
+func (p PredStats) Accuracy() float64 {
+	t := p.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.TP+p.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positive predictions.
+func (p PredStats) Precision() float64 {
+	if p.TP+p.FP == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FP)
+}
+
+// Recall returns TP/(TP+FN) — the fraction of truly shared residencies
+// the predictor caught — or 0 when no positives exist.
+func (p PredStats) Recall() float64 {
+	if p.TP+p.FN == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FN)
+}
+
+// Result aggregates one replay.
+type Result struct {
+	Policy   string
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+
+	// Hit volume split by the final classification of the residency the
+	// hit landed in (the paper's F1/F2 metric).
+	SharedHits  uint64
+	PrivateHits uint64
+
+	// Residency population.
+	Residencies       uint64
+	SharedResidencies uint64
+
+	// Shared residencies and their hits split by write behaviour:
+	// read-only sharing (no store during the residency) vs. read-write
+	// sharing (actively communicated data).
+	ROSharedResidencies uint64
+	RWSharedResidencies uint64
+	ROSharedHits        uint64
+	RWSharedHits        uint64
+
+	// DegreeResidencies[d] counts residencies of sharing degree d;
+	// DegreeHits[d] counts the hits those residencies received.
+	// Index 0 is unused (degree starts at 1).
+	DegreeResidencies []uint64
+	DegreeHits        []uint64
+
+	// Block-population view: distinct blocks seen at the LLC and the
+	// subset that was shared in at least one residency.
+	DistinctBlocks       uint64
+	DistinctSharedBlocks uint64
+
+	// FillShared[i] is true iff stream access i triggered a fill whose
+	// residency became shared. This is the oracle's knowledge.
+	FillShared []bool
+
+	// Pred accumulates fill-time prediction outcomes when a
+	// PredictShared hook was installed.
+	Pred PredStats
+
+	// Kept residencies (only with Options.KeepResidencies).
+	ResidencyLog []Residency
+}
+
+// MissRate returns misses/accesses, or 0 for an empty stream.
+func (r *Result) MissRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Accesses)
+}
+
+// SharedHitFraction returns the fraction of all hits that landed in
+// shared residencies, or 0 when there were no hits.
+func (r *Result) SharedHitFraction() float64 {
+	if r.Hits == 0 {
+		return 0
+	}
+	return float64(r.SharedHits) / float64(r.Hits)
+}
+
+// Replay runs stream through a fresh cache of llcSize bytes and llcWays
+// associativity under policy p, tracking residencies.
+//
+// The stream must have contiguous Index values starting at 0 (as produced
+// by cache.FilterStream); Replay validates this because the oracle keys
+// its knowledge by stream index.
+func Replay(stream []cache.AccessInfo, llcSize, llcWays int, p cache.Policy, opt Options) (*Result, error) {
+	llc, err := cache.NewSetAssoc(llcSize, llcWays, p)
+	if err != nil {
+		return nil, err
+	}
+	maxDegree := 128
+	res := &Result{
+		Policy:            p.Name(),
+		DegreeResidencies: make([]uint64, maxDegree+1),
+		DegreeHits:        make([]uint64, maxDegree+1),
+		FillShared:        make([]bool, len(stream)),
+	}
+	active := make(map[uint64]*Residency, llcSize/64)
+	blockSeen := make(map[uint64]bool, 1<<16) // block → ever shared
+	hadPred := opt.Hooks.PredictShared != nil
+
+	closeRes := func(r *Residency, evictIndex int64) {
+		r.EvictIndex = evictIndex
+		shared := r.Shared()
+		if shared {
+			// FillShared and the block census stay complete even for
+			// warmup residencies: the oracle and block-population view
+			// are stream properties, not sampled statistics.
+			res.FillShared[r.FillIndex] = true
+			blockSeen[r.Block] = true
+		} else if _, ok := blockSeen[r.Block]; !ok {
+			blockSeen[r.Block] = false
+		}
+		counted := evictIndex < 0 || evictIndex >= int64(opt.Warmup)
+		if !counted {
+			if opt.Hooks.OnResidencyEnd != nil {
+				opt.Hooks.OnResidencyEnd(*r)
+			}
+			return
+		}
+		res.Residencies++
+		deg := r.Degree()
+		res.DegreeResidencies[deg]++
+		res.DegreeHits[deg] += r.Hits
+		if shared {
+			res.SharedResidencies++
+			res.SharedHits += r.Hits
+			if r.written {
+				res.RWSharedResidencies++
+				res.RWSharedHits += r.Hits
+			} else {
+				res.ROSharedResidencies++
+				res.ROSharedHits += r.Hits
+			}
+		} else {
+			res.PrivateHits += r.Hits
+		}
+		if hadPred {
+			switch {
+			case r.Predicted && shared:
+				res.Pred.TP++
+			case r.Predicted && !shared:
+				res.Pred.FP++
+			case !r.Predicted && shared:
+				res.Pred.FN++
+			default:
+				res.Pred.TN++
+			}
+		}
+		if opt.Hooks.OnResidencyEnd != nil {
+			opt.Hooks.OnResidencyEnd(*r)
+		}
+		if opt.KeepResidencies {
+			res.ResidencyLog = append(res.ResidencyLog, *r)
+		}
+	}
+
+	for i := range stream {
+		a := stream[i]
+		if a.Index != int64(i) {
+			return nil, fmt.Errorf("sharing: stream index %d at position %d; use cache.FilterStream ordering", a.Index, i)
+		}
+		if opt.Hooks.OnAccess != nil {
+			opt.Hooks.OnAccess(a)
+		}
+		counting := i >= opt.Warmup
+		if counting {
+			res.Accesses++
+		}
+		if r, ok := active[a.Block]; ok {
+			// Hit path mirrors the cache's own lookup; assert agreement.
+			out := llc.Access(a)
+			if !out.Hit {
+				return nil, fmt.Errorf("sharing: tracker and cache disagree: block %d tracked resident but missed", a.Block)
+			}
+			if counting {
+				res.Hits++
+				r.Hits++
+			}
+			r.addCore(a.Core)
+			if a.Write {
+				r.written = true
+			}
+			continue
+		}
+		if hadPred {
+			a.PredictedShared = opt.Hooks.PredictShared(a)
+		}
+		out := llc.Access(a)
+		if out.Hit {
+			return nil, fmt.Errorf("sharing: tracker and cache disagree: block %d untracked but hit", a.Block)
+		}
+		if counting {
+			res.Misses++
+		}
+		if out.Evicted {
+			victim, ok := active[out.Victim]
+			if !ok {
+				return nil, fmt.Errorf("sharing: evicted block %d has no tracked residency", out.Victim)
+			}
+			closeRes(victim, int64(i))
+			delete(active, out.Victim)
+		}
+		nr := &Residency{
+			Block:      a.Block,
+			FillIndex:  int64(i),
+			FillCore:   a.Core,
+			FillPC:     a.PC,
+			written:    a.Write,
+			Predicted:  a.PredictedShared,
+			EvictIndex: -1,
+		}
+		nr.addCore(a.Core)
+		active[a.Block] = nr
+	}
+	// Close residencies still alive at stream end, in fill order so hook
+	// invocation and the residency log stay deterministic (map iteration
+	// order is not).
+	alive := make([]*Residency, 0, len(active))
+	for _, r := range active {
+		alive = append(alive, r)
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].FillIndex < alive[j].FillIndex })
+	for _, r := range alive {
+		closeRes(r, -1)
+	}
+	for _, shared := range blockSeen {
+		res.DistinctBlocks++
+		if shared {
+			res.DistinctSharedBlocks++
+		}
+	}
+	return res, nil
+}

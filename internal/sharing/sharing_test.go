@@ -1,0 +1,476 @@
+package sharing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/rng"
+	"sharellc/internal/trace"
+)
+
+// mkStream builds an annotated LLC stream from (core, block) pairs.
+func mkStream(pairs [][2]uint64) []cache.AccessInfo {
+	stream := make([]cache.AccessInfo, len(pairs))
+	for i, p := range pairs {
+		stream[i] = cache.AccessInfo{
+			Core:  uint8(p[0]),
+			Block: p[1],
+			PC:    0x400 + p[1]*4,
+			Index: int64(i),
+		}
+	}
+	cache.AnnotateNextUse(stream)
+	return stream
+}
+
+const (
+	testSize = 16 * trace.BlockSize // 4 sets x 4 ways
+	testWays = 4
+)
+
+func replay(t *testing.T, stream []cache.AccessInfo, opt Options) *Result {
+	t.Helper()
+	res, err := Replay(stream, testSize, testWays, cache.NewLRU(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPrivateResidency(t *testing.T) {
+	// One core touches one block three times: 1 residency, private,
+	// 2 hits.
+	res := replay(t, mkStream([][2]uint64{{0, 1}, {0, 1}, {0, 1}}), Options{})
+	if res.Accesses != 3 || res.Hits != 2 || res.Misses != 1 {
+		t.Fatalf("counts = (%d,%d,%d), want (3,2,1)", res.Accesses, res.Hits, res.Misses)
+	}
+	if res.SharedHits != 0 || res.PrivateHits != 2 {
+		t.Errorf("hit split = (%d,%d), want (0,2)", res.SharedHits, res.PrivateHits)
+	}
+	if res.Residencies != 1 || res.SharedResidencies != 0 {
+		t.Errorf("residencies = (%d,%d), want (1,0)", res.Residencies, res.SharedResidencies)
+	}
+	if res.FillShared[0] {
+		t.Error("private fill marked shared")
+	}
+}
+
+func TestSharedResidency(t *testing.T) {
+	// Core 0 fills, core 1 hits: the residency is shared, and BOTH hits
+	// (including core 0's own later hit) count as shared hit volume.
+	res := replay(t, mkStream([][2]uint64{{0, 1}, {1, 1}, {0, 1}}), Options{})
+	if res.SharedHits != 2 || res.PrivateHits != 0 {
+		t.Errorf("hit split = (%d,%d), want (2,0)", res.SharedHits, res.PrivateHits)
+	}
+	if res.SharedResidencies != 1 {
+		t.Errorf("shared residencies = %d, want 1", res.SharedResidencies)
+	}
+	if !res.FillShared[0] {
+		t.Error("shared fill not marked in FillShared")
+	}
+	if res.FillShared[1] || res.FillShared[2] {
+		t.Error("non-fill accesses marked in FillShared")
+	}
+}
+
+func TestSharingResetsAcrossResidencies(t *testing.T) {
+	// Block 0 is shared in its first residency, then evicted by
+	// conflicting fills, then re-filled and touched by one core only:
+	// the second residency is private. Blocks 0,4,8,12,16 map to set 0.
+	pairs := [][2]uint64{
+		{0, 0}, {1, 0}, // residency 1 of block 0: shared
+		{0, 4}, {0, 8}, {0, 12}, {0, 16}, // four fills evict block 0 (LRU)
+		{0, 0}, {0, 0}, // residency 2 of block 0: private
+	}
+	res := replay(t, mkStream(pairs), Options{KeepResidencies: true})
+	if res.Residencies < 2 {
+		t.Fatalf("residencies = %d, want >= 2", res.Residencies)
+	}
+	var first, second *Residency
+	for i := range res.ResidencyLog {
+		r := &res.ResidencyLog[i]
+		if r.Block == 0 {
+			if first == nil {
+				first = r
+			} else {
+				second = r
+			}
+		}
+	}
+	// The second residency of block 0 is still alive at stream end and
+	// closed then; both must be present in the log.
+	if first == nil || second == nil {
+		t.Fatal("expected two residencies of block 0 in the log")
+	}
+	if !first.Shared() || first.Degree() != 2 {
+		t.Errorf("first residency: shared=%v degree=%d, want true/2", first.Shared(), first.Degree())
+	}
+	if second.Shared() {
+		t.Error("second residency inherited sharing from the first")
+	}
+	if !first.Evicted() {
+		t.Error("first residency not marked evicted")
+	}
+	if second.Evicted() {
+		t.Error("alive-at-end residency marked evicted")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	// Block 1 touched by cores 0,1,2; block 2 by core 3 only.
+	pairs := [][2]uint64{{0, 1}, {1, 1}, {2, 1}, {3, 2}}
+	res := replay(t, mkStream(pairs), Options{})
+	if res.DegreeResidencies[3] != 1 {
+		t.Errorf("degree-3 residencies = %d, want 1", res.DegreeResidencies[3])
+	}
+	if res.DegreeResidencies[1] != 1 {
+		t.Errorf("degree-1 residencies = %d, want 1", res.DegreeResidencies[1])
+	}
+	if res.DegreeHits[3] != 2 {
+		t.Errorf("degree-3 hits = %d, want 2", res.DegreeHits[3])
+	}
+}
+
+func TestDistinctBlockCensus(t *testing.T) {
+	pairs := [][2]uint64{
+		{0, 1}, {1, 1}, // block 1 shared
+		{0, 2}, {0, 2}, // block 2 private
+		{0, 3}, // block 3 private, no reuse
+	}
+	res := replay(t, mkStream(pairs), Options{})
+	if res.DistinctBlocks != 3 {
+		t.Errorf("DistinctBlocks = %d, want 3", res.DistinctBlocks)
+	}
+	if res.DistinctSharedBlocks != 1 {
+		t.Errorf("DistinctSharedBlocks = %d, want 1", res.DistinctSharedBlocks)
+	}
+}
+
+func TestReadOnlyVsReadWriteSharing(t *testing.T) {
+	// Block 1: shared, read-only. Block 2: shared, written by core 1.
+	stream := []cache.AccessInfo{
+		{Core: 0, Block: 1, Index: 0},
+		{Core: 1, Block: 1, Index: 1},
+		{Core: 0, Block: 2, Index: 2},
+		{Core: 1, Block: 2, Write: true, Index: 3},
+		{Core: 2, Block: 2, Index: 4},
+	}
+	res, err := Replay(stream, testSize, testWays, cache.NewLRU(), Options{KeepResidencies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ROSharedResidencies != 1 || res.RWSharedResidencies != 1 {
+		t.Errorf("RO/RW shared residencies = (%d,%d), want (1,1)",
+			res.ROSharedResidencies, res.RWSharedResidencies)
+	}
+	if res.ROSharedHits != 1 || res.RWSharedHits != 2 {
+		t.Errorf("RO/RW shared hits = (%d,%d), want (1,2)", res.ROSharedHits, res.RWSharedHits)
+	}
+	for _, r := range res.ResidencyLog {
+		if r.Block == 1 && r.Written() {
+			t.Error("read-only residency marked written")
+		}
+		if r.Block == 2 && !r.Written() {
+			t.Error("written residency not marked")
+		}
+	}
+}
+
+func TestWrittenByFill(t *testing.T) {
+	// The fill itself being a store marks the residency written.
+	stream := []cache.AccessInfo{
+		{Core: 0, Block: 1, Write: true, Index: 0},
+		{Core: 1, Block: 1, Index: 1},
+	}
+	res, err := Replay(stream, testSize, testWays, cache.NewLRU(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RWSharedResidencies != 1 {
+		t.Errorf("write-filled shared residency not counted as RW: %+v", res)
+	}
+}
+
+func TestMakeWrittenResidency(t *testing.T) {
+	r := MakeWrittenResidency(5, 0x100, 3)
+	if !r.Written() || r.Degree() != 3 {
+		t.Errorf("MakeWrittenResidency = written %v degree %d", r.Written(), r.Degree())
+	}
+	if MakeResidency(5, 0x100, 3).Written() {
+		t.Error("MakeResidency marked written")
+	}
+}
+
+func TestROPlusRWEqualsShared(t *testing.T) {
+	f := func(seed uint64) bool {
+		rnd := rng.New(seed)
+		n := 500 + rnd.Intn(1000)
+		stream := make([]cache.AccessInfo, n)
+		for i := range stream {
+			stream[i] = cache.AccessInfo{
+				Core:  uint8(rnd.Intn(8)),
+				Block: rnd.Uint64n(96),
+				Write: rnd.Bool(0.3),
+				Index: int64(i),
+			}
+		}
+		res, err := Replay(stream, testSize, testWays, cache.NewLRU(), Options{})
+		if err != nil {
+			return false
+		}
+		return res.ROSharedResidencies+res.RWSharedResidencies == res.SharedResidencies &&
+			res.ROSharedHits+res.RWSharedHits == res.SharedHits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictionAccounting(t *testing.T) {
+	// Predict shared iff block is even. Block 2 (even) becomes shared →
+	// TP. Block 4 (even) stays private → FP. Block 1 (odd) becomes
+	// shared → FN. Block 3 (odd) stays private → TN.
+	pairs := [][2]uint64{
+		{0, 2}, {1, 2},
+		{0, 4},
+		{0, 1}, {1, 1},
+		{0, 3},
+	}
+	stream := mkStream(pairs)
+	opt := Options{Hooks: Hooks{
+		PredictShared: func(a cache.AccessInfo) bool { return a.Block%2 == 0 },
+	}}
+	res := replay(t, stream, opt)
+	if res.Pred.TP != 1 || res.Pred.FP != 1 || res.Pred.FN != 1 || res.Pred.TN != 1 {
+		t.Errorf("PredStats = %+v, want 1 each", res.Pred)
+	}
+	if got := res.Pred.Accuracy(); got != 0.5 {
+		t.Errorf("Accuracy = %v, want 0.5", got)
+	}
+	if got := res.Pred.Precision(); got != 0.5 {
+		t.Errorf("Precision = %v, want 0.5", got)
+	}
+	if got := res.Pred.Recall(); got != 0.5 {
+		t.Errorf("Recall = %v, want 0.5", got)
+	}
+}
+
+func TestPredStatsEmpty(t *testing.T) {
+	var p PredStats
+	if p.Accuracy() != 0 || p.Precision() != 0 || p.Recall() != 0 {
+		t.Error("empty PredStats returned non-zero rates")
+	}
+}
+
+func TestOnResidencyEndFiresForAll(t *testing.T) {
+	pairs := [][2]uint64{{0, 0}, {0, 4}, {0, 8}, {0, 12}, {0, 16}} // 5 blocks, 4 ways: 1 eviction
+	var ended []Residency
+	opt := Options{Hooks: Hooks{
+		OnResidencyEnd: func(r Residency) { ended = append(ended, r) },
+	}}
+	res := replay(t, mkStream(pairs), opt)
+	if uint64(len(ended)) != res.Residencies {
+		t.Errorf("hook fired %d times for %d residencies", len(ended), res.Residencies)
+	}
+	if res.Residencies != 5 {
+		t.Errorf("residencies = %d, want 5", res.Residencies)
+	}
+	evicted := 0
+	for _, r := range ended {
+		if r.Evicted() {
+			evicted++
+		}
+	}
+	if evicted != 1 {
+		t.Errorf("%d residencies evicted, want 1", evicted)
+	}
+}
+
+func TestOnAccessHookFiresForEveryAccess(t *testing.T) {
+	pairs := [][2]uint64{{0, 1}, {1, 1}, {0, 2}, {0, 1}}
+	var seen []uint64
+	opt := Options{Hooks: Hooks{
+		OnAccess: func(a cache.AccessInfo) { seen = append(seen, a.Block) },
+	}}
+	res := replay(t, mkStream(pairs), opt)
+	if uint64(len(seen)) != res.Accesses {
+		t.Fatalf("hook fired %d times for %d accesses", len(seen), res.Accesses)
+	}
+	for i, p := range pairs {
+		if seen[i] != p[1] {
+			t.Errorf("hook order broken at %d: got block %d want %d", i, seen[i], p[1])
+		}
+	}
+}
+
+func TestStreamIndexValidation(t *testing.T) {
+	stream := []cache.AccessInfo{{Block: 1, Index: 7}}
+	if _, err := Replay(stream, testSize, testWays, cache.NewLRU(), Options{}); err == nil {
+		t.Error("misindexed stream accepted")
+	}
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	if _, err := Replay(nil, 63, 4, cache.NewLRU(), Options{}); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	res := replay(t, nil, Options{})
+	if res.Accesses != 0 || res.Residencies != 0 || res.MissRate() != 0 || res.SharedHitFraction() != 0 {
+		t.Errorf("empty stream produced non-empty result: %+v", res)
+	}
+}
+
+// Property: conservation laws hold on random streams under every metric:
+// hits+misses=accesses, shared+private hits=hits, residencies=fills,
+// degree histograms sum to totals, FillShared marks exactly the shared
+// residencies' fills.
+func TestConservationProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rnd := rng.New(seed)
+		n := 500 + rnd.Intn(1500)
+		pairs := make([][2]uint64, n)
+		for i := range pairs {
+			pairs[i] = [2]uint64{rnd.Uint64n(8), rnd.Uint64n(96)}
+		}
+		res := replay(t, mkStream(pairs), Options{})
+		if res.Hits+res.Misses != res.Accesses {
+			return false
+		}
+		if res.SharedHits+res.PrivateHits != res.Hits {
+			return false
+		}
+		if res.Residencies != res.Misses {
+			return false
+		}
+		var degSum, degHits, fillShared uint64
+		for d, c := range res.DegreeResidencies {
+			degSum += c
+			degHits += res.DegreeHits[d]
+			if d >= 2 {
+				// shared residencies
+			}
+		}
+		if degSum != res.Residencies || degHits != res.Hits {
+			return false
+		}
+		for _, b := range res.FillShared {
+			if b {
+				fillShared++
+			}
+		}
+		if fillShared != res.SharedResidencies {
+			return false
+		}
+		if res.DistinctSharedBlocks > res.DistinctBlocks {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: miss counts from Replay equal miss counts from driving the
+// cache directly (the tracker must not perturb replacement).
+func TestReplayMatchesRawCache(t *testing.T) {
+	f := func(seed uint64) bool {
+		rnd := rng.New(seed)
+		n := 1000
+		stream := make([]cache.AccessInfo, n)
+		for i := range stream {
+			stream[i] = cache.AccessInfo{
+				Core:  uint8(rnd.Intn(4)),
+				Block: rnd.Uint64n(64),
+				Index: int64(i),
+			}
+		}
+		res, err := Replay(stream, testSize, testWays, cache.NewLRU(), Options{})
+		if err != nil {
+			return false
+		}
+		raw, err := cache.NewSetAssoc(testSize, testWays, cache.NewLRU())
+		if err != nil {
+			return false
+		}
+		var rawMisses uint64
+		for _, a := range stream {
+			if !raw.Access(a).Hit {
+				rawMisses++
+			}
+		}
+		return rawMisses == res.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResidencyLogDeterministic(t *testing.T) {
+	rnd := rng.New(3)
+	pairs := make([][2]uint64, 2000)
+	for i := range pairs {
+		pairs[i] = [2]uint64{rnd.Uint64n(4), rnd.Uint64n(128)}
+	}
+	a := replay(t, mkStream(pairs), Options{KeepResidencies: true})
+	b := replay(t, mkStream(pairs), Options{KeepResidencies: true})
+	if len(a.ResidencyLog) != len(b.ResidencyLog) {
+		t.Fatal("log lengths differ between identical replays")
+	}
+	for i := range a.ResidencyLog {
+		if a.ResidencyLog[i] != b.ResidencyLog[i] {
+			t.Fatalf("residency %d differs between identical replays", i)
+		}
+	}
+}
+
+func TestWarmupExcludesLeadingAccesses(t *testing.T) {
+	// 4 accesses, warmup 2: only the last two count.
+	pairs := [][2]uint64{{0, 1}, {0, 2}, {0, 1}, {0, 3}}
+	stream := mkStream(pairs)
+	res, err := Replay(stream, testSize, testWays, cache.NewLRU(), Options{Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 2 {
+		t.Errorf("Accesses = %d, want 2", res.Accesses)
+	}
+	// Access 2 hits block 1 (warmed in); access 3 misses.
+	if res.Hits != 1 || res.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", res.Hits, res.Misses)
+	}
+}
+
+func TestWarmupKeepsOracleKnowledgeComplete(t *testing.T) {
+	// A shared residency entirely inside the warmup window must still
+	// mark FillShared (oracle knowledge is a stream property).
+	pairs := [][2]uint64{{0, 1}, {1, 1}, {0, 9}, {0, 9}}
+	stream := mkStream(pairs)
+	res, err := Replay(stream, testSize, testWays, cache.NewLRU(), Options{Warmup: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FillShared[0] {
+		t.Error("warmup residency lost its FillShared bit")
+	}
+	if res.Accesses != 0 || res.Hits != 0 {
+		t.Errorf("warmup-only replay counted stats: %+v", res)
+	}
+}
+
+func TestWarmupZeroIsIdentity(t *testing.T) {
+	rnd := rng.New(8)
+	pairs := make([][2]uint64, 3000)
+	for i := range pairs {
+		pairs[i] = [2]uint64{rnd.Uint64n(4), rnd.Uint64n(64)}
+	}
+	a := replay(t, mkStream(pairs), Options{})
+	b := replay(t, mkStream(pairs), Options{Warmup: 0})
+	if a.Misses != b.Misses || a.SharedHits != b.SharedHits {
+		t.Error("Warmup 0 changed results")
+	}
+}

@@ -1,0 +1,622 @@
+package sim
+
+import (
+	"fmt"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/coherence"
+	"sharellc/internal/core"
+	"sharellc/internal/oracle"
+	"sharellc/internal/phase"
+	"sharellc/internal/policy"
+	"sharellc/internal/predictor"
+	"sharellc/internal/reuse"
+	"sharellc/internal/sharing"
+	"sharellc/internal/stats"
+	"sharellc/internal/workloads"
+)
+
+// CharRow is one workload's characterization at one LLC size (experiments
+// F1, F2, F3).
+type CharRow struct {
+	Workload string
+	Suite    string
+
+	Accesses uint64 // LLC references
+	Hits     uint64
+	Misses   uint64
+	MissRate float64
+
+	SharedHitFrac       float64 // fraction of LLC hits landing in shared residencies
+	SharedResidencyFrac float64 // fraction of residencies that are shared
+	SharedBlockFrac     float64 // fraction of distinct blocks ever shared
+
+	// ROSharedHitFrac and RWSharedHitFrac split the shared hit volume by
+	// write behaviour (read-only vs. actively communicated data); they
+	// sum to SharedHitFrac.
+	ROSharedHitFrac float64
+	RWSharedHitFrac float64
+
+	DegreeResidencyShare [4]float64 // residency share per stats.DegreeBuckets
+	DegreeHitShare       [4]float64 // hit share per stats.DegreeBuckets
+}
+
+// Characterize runs the F1/F2/F3 characterization under LRU at the given
+// LLC geometry, one row per workload.
+func (s *Suite) Characterize(llcSize, llcWays int) ([]CharRow, error) {
+	rows := make([]CharRow, len(s.Streams))
+	err := parallel(len(s.Streams), func(i int) error {
+		st := s.Streams[i]
+		res, err := sharing.Replay(st.Accesses, llcSize, llcWays, policy.NewLRUPolicy(), sharing.Options{})
+		if err != nil {
+			return fmt.Errorf("characterize %s: %w", st.Model.Name, err)
+		}
+		rows[i] = CharRow{
+			Workload:             st.Model.Name,
+			Suite:                st.Model.Suite,
+			Accesses:             res.Accesses,
+			Hits:                 res.Hits,
+			Misses:               res.Misses,
+			MissRate:             res.MissRate(),
+			SharedHitFrac:        res.SharedHitFraction(),
+			ROSharedHitFrac:      stats.Ratio(res.ROSharedHits, res.Hits),
+			RWSharedHitFrac:      stats.Ratio(res.RWSharedHits, res.Hits),
+			SharedResidencyFrac:  stats.Ratio(res.SharedResidencies, res.Residencies),
+			SharedBlockFrac:      stats.Ratio(res.DistinctSharedBlocks, res.DistinctBlocks),
+			DegreeResidencyShare: stats.BucketizeDegrees(res.DegreeResidencies),
+			DegreeHitShare:       stats.BucketizeDegrees(res.DegreeHits),
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// CoherenceRow is one workload's coherence-traffic characterization
+// (experiment C1, an extension): directory-protocol event rates per
+// thousand references under an infinite-private-cache view — the "other
+// architectural features" the paper's conclusion points at, quantified.
+type CoherenceRow struct {
+	Workload string
+	Refs     uint64
+
+	// Event rates per thousand references.
+	InvalidationsPKR float64
+	DowngradesPKR    float64
+	C2CTransfersPKR  float64
+	UpgradesPKR      float64
+}
+
+// CoherenceCharacterize regenerates each workload's raw trace and feeds
+// it to a MESI directory. The directory models infinite private caches
+// (no capacity evictions), so the rates measure *true* communication,
+// independent of cache geometry.
+func (s *Suite) CoherenceCharacterize() ([]CoherenceRow, error) {
+	rows := make([]CoherenceRow, len(s.Streams))
+	err := parallel(len(s.Streams), func(i int) error {
+		st := s.Streams[i]
+		r, err := st.Model.Generate(s.Config.Seed)
+		if err != nil {
+			return fmt.Errorf("coherence characterize %s: %w", st.Model.Name, err)
+		}
+		dir := coherence.NewDirectory()
+		var refs uint64
+		for {
+			a, ok := r.Next()
+			if !ok {
+				break
+			}
+			refs++
+			if a.Write {
+				dir.Store(a.Core, a.Addr.BlockID())
+			} else {
+				dir.Load(a.Core, a.Addr.BlockID())
+			}
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		cs := dir.Stats()
+		pkr := func(v uint64) float64 {
+			if refs == 0 {
+				return 0
+			}
+			return 1000 * float64(v) / float64(refs)
+		}
+		rows[i] = CoherenceRow{
+			Workload:         st.Model.Name,
+			Refs:             refs,
+			InvalidationsPKR: pkr(cs.Invalidations),
+			DowngradesPKR:    pkr(cs.Downgrades),
+			C2CTransfersPKR:  pkr(cs.C2CTransfers),
+			UpgradesPKR:      pkr(cs.UpgradeMisses),
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// ReuseRow is one workload's reuse-distance characterization (experiment
+// C2, an extension): the distribution of LRU stack distances at the LLC,
+// split into shared-future and private accesses. Buckets follow
+// reuse.BucketEdges; the 64K- and 128K-block edges are the 4 MB and 8 MB
+// capacities, so the shares read directly as "fits at 4 MB / at 8 MB /
+// nowhere".
+type ReuseRow struct {
+	Workload string
+
+	SharedShares  [reuse.NumBuckets]float64
+	PrivateShares [reuse.NumBuckets]float64
+	SharedTotal   uint64
+	PrivateTotal  uint64
+}
+
+// ReuseDistances runs the C2 characterization, classifying each access
+// with the oracle's residency-scale sharing hint at the given LLC size.
+func (s *Suite) ReuseDistances(llcSize int) ([]ReuseRow, error) {
+	rows := make([]ReuseRow, len(s.Streams))
+	err := parallel(len(s.Streams), func(i int) error {
+		st := s.Streams[i]
+		horizon := int64(oracle.HorizonFactor) * int64(llcSize/64)
+		hints := oracle.SharedHints(st.Accesses, horizon)
+		prof, err := reuse.Analyze(st.Accesses, hints)
+		if err != nil {
+			return fmt.Errorf("reuse distances %s: %w", st.Model.Name, err)
+		}
+		row := ReuseRow{
+			Workload:     st.Model.Name,
+			SharedTotal:  prof.Shared.Total,
+			PrivateTotal: prof.Private.Total,
+		}
+		for b := 0; b < reuse.NumBuckets; b++ {
+			row.SharedShares[b] = prof.Shared.Share(b)
+			row.PrivateShares[b] = prof.Private.Share(b)
+		}
+		rows[i] = row
+		return nil
+	})
+	return rows, err
+}
+
+// PhaseRow is one workload's sharing-phase analysis (experiment F9):
+// how stable a block's shared/private status is across program phases,
+// the mechanistic explanation of the predictor failure.
+type PhaseRow struct {
+	Workload string
+
+	Windows      int
+	FlipRate     float64 // fraction of window-to-window status changes
+	MixedFrac    float64 // multi-window blocks with both statuses
+	AlwaysShared uint64
+	NeverShared  uint64
+	Mixed        uint64
+	SingleWindow uint64
+}
+
+// SharingPhases runs the F9 phase analysis over every workload's LLC
+// stream with the given number of windows (0 = phase.DefaultWindows).
+func (s *Suite) SharingPhases(windows int) ([]PhaseRow, error) {
+	if windows == 0 {
+		windows = phase.DefaultWindows
+	}
+	rows := make([]PhaseRow, len(s.Streams))
+	err := parallel(len(s.Streams), func(i int) error {
+		st := s.Streams[i]
+		res, err := phase.Analyze(st.Accesses, windows)
+		if err != nil {
+			return fmt.Errorf("phase analysis %s: %w", st.Model.Name, err)
+		}
+		rows[i] = PhaseRow{
+			Workload:     st.Model.Name,
+			Windows:      res.Windows,
+			FlipRate:     res.FlipRate(),
+			MixedFrac:    res.MixedFraction(),
+			AlwaysShared: res.AlwaysShared,
+			NeverShared:  res.NeverShared,
+			Mixed:        res.Mixed,
+			SingleWindow: res.SingleWindow,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// PolicyRow is one (workload, policy) cell of the policy comparison
+// (experiment F4).
+type PolicyRow struct {
+	Workload string
+	Policy   string
+
+	Misses        uint64
+	MissRate      float64
+	MissesVsLRU   float64 // misses normalized to LRU on the same workload
+	SharedHits    uint64
+	SharedHitFrac float64
+}
+
+// ComparePolicies replays every workload under every named policy
+// (experiment F4). Rows are grouped by workload in suite order, policies
+// in the order given.
+func (s *Suite) ComparePolicies(llcSize, llcWays int, names []string) ([]PolicyRow, error) {
+	if len(names) == 0 {
+		names = policy.Names(s.Config.Seed)
+	}
+	factories := make([]policy.Factory, len(names))
+	for i, n := range names {
+		f, err := policy.ByName(n, s.Config.Seed)
+		if err != nil {
+			return nil, err
+		}
+		factories[i] = f
+	}
+	type cell struct{ w, p int }
+	cells := make([]cell, 0, len(s.Streams)*len(names))
+	for w := range s.Streams {
+		for p := range names {
+			cells = append(cells, cell{w, p})
+		}
+	}
+	rows := make([]PolicyRow, len(cells))
+	err := parallel(len(cells), func(i int) error {
+		c := cells[i]
+		st := s.Streams[c.w]
+		res, err := sharing.Replay(st.Accesses, llcSize, llcWays, factories[c.p](), sharing.Options{})
+		if err != nil {
+			return fmt.Errorf("comparing %s under %s: %w", st.Model.Name, names[c.p], err)
+		}
+		rows[i] = PolicyRow{
+			Workload:      st.Model.Name,
+			Policy:        res.Policy,
+			Misses:        res.Misses,
+			MissRate:      res.MissRate(),
+			SharedHits:    res.SharedHits,
+			SharedHitFrac: res.SharedHitFraction(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Normalize to each workload's LRU misses.
+	lru := map[string]uint64{}
+	for _, r := range rows {
+		if r.Policy == "lru" {
+			lru[r.Workload] = r.Misses
+		}
+	}
+	for i := range rows {
+		if base, ok := lru[rows[i].Workload]; ok && base > 0 {
+			rows[i].MissesVsLRU = float64(rows[i].Misses) / float64(base)
+		}
+	}
+	return rows, nil
+}
+
+// OracleRow is one (workload, policy) result of the oracle study
+// (experiments F5, F6, A1).
+type OracleRow struct {
+	Workload string
+	Policy   string
+
+	BaseMisses   uint64
+	OracleMisses uint64
+	Reduction    float64 // fractional miss reduction, positive = oracle wins
+
+	BaseSharedHitFrac   float64
+	OracleSharedHitFrac float64
+	// AMATSpeedup translates the miss delta into an average-memory-
+	// access-time speedup under DefaultLatency (first-order, no MLP).
+	AMATSpeedup float64
+	Protector   core.Stats
+}
+
+// OracleStudy runs the two-pass oracle experiment for each workload and
+// each named base policy at the given strength.
+func (s *Suite) OracleStudy(llcSize, llcWays int, names []string, opts core.Options) ([]OracleRow, error) {
+	if len(names) == 0 {
+		names = []string{"lru"}
+	}
+	factories := make([]policy.Factory, len(names))
+	for i, n := range names {
+		f, err := policy.ByName(n, s.Config.Seed)
+		if err != nil {
+			return nil, err
+		}
+		factories[i] = f
+	}
+	type cell struct{ w, p int }
+	cells := make([]cell, 0, len(s.Streams)*len(names))
+	for w := range s.Streams {
+		for p := range names {
+			cells = append(cells, cell{w, p})
+		}
+	}
+	rows := make([]OracleRow, len(cells))
+	err := parallel(len(cells), func(i int) error {
+		c := cells[i]
+		st := s.Streams[c.w]
+		f := factories[c.p]
+		res, err := oracle.RunOpts(st.Accesses, llcSize, llcWays, func() cache.Policy { return f() }, opts)
+		if err != nil {
+			return fmt.Errorf("oracle study %s/%s: %w", st.Model.Name, names[c.p], err)
+		}
+		rows[i] = OracleRow{
+			Workload:            st.Model.Name,
+			Policy:              names[c.p],
+			BaseMisses:          res.Base.Misses,
+			OracleMisses:        res.Oracle.Misses,
+			Reduction:           res.MissReduction(),
+			BaseSharedHitFrac:   res.Base.SharedHitFraction(),
+			OracleSharedHitFrac: res.Oracle.SharedHitFraction(),
+			AMATSpeedup: DefaultLatency().AMATSpeedup(st,
+				res.Base.Hits, res.Base.Misses, res.Oracle.Hits, res.Oracle.Misses),
+			Protector: res.Stats,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// BuildMixStream prepares the LLC reference stream of a multiprogrammed
+// mix (independent single-threaded programs, one per core, disjoint
+// address spaces).
+func BuildMixStream(models []workloads.Model, machine cache.Config, seed uint64) (*Stream, error) {
+	if len(models) > machine.Cores {
+		return nil, fmt.Errorf("sim: mix of %d programs on %d cores", len(models), machine.Cores)
+	}
+	r, err := workloads.Mix(models, seed)
+	if err != nil {
+		return nil, err
+	}
+	stream, h, err := cache.FilterStream(r, machine)
+	if err != nil {
+		return nil, fmt.Errorf("sim: filtering %s: %w", workloads.MixName(models), err)
+	}
+	cache.AnnotateNextUse(stream)
+	refs, l1, l2, _ := h.Stats()
+	pseudo := models[0]
+	pseudo.Name = workloads.MixName(models)
+	pseudo.Threads = len(models)
+	return &Stream{Model: pseudo, Accesses: stream, TraceLen: refs, L1Hits: l1, L2Hits: l2}, nil
+}
+
+// MultiprogrammedOracle runs the M1 experiment: the sharing oracle over
+// multiprogrammed mixes, where by construction nothing is shared and the
+// oracle should have (near) nothing to offer — the paper's motivating
+// contrast with multi-threaded workloads.
+func MultiprogrammedOracle(mixes [][]workloads.Model, machine cache.Config, seed uint64, llcSize, llcWays int, opts core.Options) ([]OracleRow, error) {
+	rows := make([]OracleRow, len(mixes))
+	err := parallel(len(mixes), func(i int) error {
+		st, err := BuildMixStream(mixes[i], machine, seed)
+		if err != nil {
+			return err
+		}
+		res, err := oracle.RunOpts(st.Accesses, llcSize, llcWays,
+			func() cache.Policy { return policy.NewLRUPolicy() }, opts)
+		if err != nil {
+			return fmt.Errorf("multiprogrammed oracle %s: %w", st.Model.Name, err)
+		}
+		rows[i] = OracleRow{
+			Workload:            st.Model.Name,
+			Policy:              "lru",
+			BaseMisses:          res.Base.Misses,
+			OracleMisses:        res.Oracle.Misses,
+			Reduction:           res.MissReduction(),
+			BaseSharedHitFrac:   res.Base.SharedHitFraction(),
+			OracleSharedHitFrac: res.Oracle.SharedHitFraction(),
+			AMATSpeedup: DefaultLatency().AMATSpeedup(st,
+				res.Base.Hits, res.Base.Misses, res.Oracle.Hits, res.Oracle.Misses),
+			Protector: res.Stats,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// HorizonRow is one (workload, horizon-factor) result of the A4 ablation.
+type HorizonRow struct {
+	Workload  string
+	Factor    int // sharing lookahead in multiples of LLC capacity
+	Reduction float64
+}
+
+// OracleHorizonSweep reruns the LRU oracle study at several sharing
+// horizons (ablation A4): how sensitive is the headroom to how far ahead
+// "will be shared during its residency" looks?
+func (s *Suite) OracleHorizonSweep(llcSize, llcWays int, factors []int, opts core.Options) ([]HorizonRow, error) {
+	if len(factors) == 0 {
+		factors = []int{1, 2, 4, 8}
+	}
+	type cell struct{ w, f int }
+	cells := make([]cell, 0, len(s.Streams)*len(factors))
+	for w := range s.Streams {
+		for f := range factors {
+			cells = append(cells, cell{w, f})
+		}
+	}
+	rows := make([]HorizonRow, len(cells))
+	err := parallel(len(cells), func(i int) error {
+		c := cells[i]
+		st := s.Streams[c.w]
+		res, err := oracle.RunHorizon(st.Accesses, llcSize, llcWays,
+			func() cache.Policy { return policy.NewLRUPolicy() }, opts, factors[c.f])
+		if err != nil {
+			return fmt.Errorf("horizon sweep %s/%d: %w", st.Model.Name, factors[c.f], err)
+		}
+		rows[i] = HorizonRow{Workload: st.Model.Name, Factor: factors[c.f], Reduction: res.MissReduction()}
+		return nil
+	})
+	return rows, err
+}
+
+// MeanReduction averages the miss reduction of rows for one policy.
+func MeanReduction(rows []OracleRow, policyName string) float64 {
+	var xs []float64
+	for _, r := range rows {
+		if r.Policy == policyName {
+			xs = append(xs, r.Reduction)
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// PredictorNames lists the realistic predictors of the F7/F8 studies in
+// presentation order: the paper's two history predictors, the tournament
+// combination (extension), and the always/never brackets that expose each
+// workload's class prior.
+func PredictorNames() []string {
+	return []string{"addr", "pc", "tournament", "coherence", "always", "never"}
+}
+
+// newPredictor builds the named predictor with cfg.
+func newPredictor(name string, cfg predictor.Config) (predictor.Predictor, error) {
+	switch name {
+	case "addr":
+		return predictor.NewAddress(cfg)
+	case "pc":
+		return predictor.NewPC(cfg)
+	case "tournament":
+		return predictor.NewTournament(cfg)
+	case "coherence":
+		return predictor.NewCoherence(0)
+	case "always":
+		return predictor.Always{}, nil
+	case "never":
+		return predictor.Never{}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown predictor %q", name)
+	}
+}
+
+// PredictorRow is one (workload, predictor) accuracy result (experiment
+// F7).
+type PredictorRow struct {
+	Workload  string
+	Predictor string
+
+	Pred           sharing.PredStats
+	Accuracy       float64
+	Precision      float64
+	Recall         float64
+	SharedBaseRate float64 // fraction of residencies that are shared (class prior)
+}
+
+// PredictorAccuracy measures fill-time prediction quality without letting
+// predictions influence replacement, under the LRU base policy.
+func (s *Suite) PredictorAccuracy(llcSize, llcWays int, cfg predictor.Config, names []string) ([]PredictorRow, error) {
+	if len(names) == 0 {
+		names = PredictorNames()
+	}
+	type cell struct {
+		w int
+		p string
+	}
+	cells := make([]cell, 0, len(s.Streams)*len(names))
+	for w := range s.Streams {
+		for _, p := range names {
+			cells = append(cells, cell{w, p})
+		}
+	}
+	rows := make([]PredictorRow, len(cells))
+	err := parallel(len(cells), func(i int) error {
+		c := cells[i]
+		st := s.Streams[c.w]
+		pred, err := newPredictor(c.p, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := predictor.Evaluate(st.Accesses, llcSize, llcWays, policy.NewLRUPolicy(), pred)
+		if err != nil {
+			return fmt.Errorf("predictor accuracy %s/%s: %w", st.Model.Name, c.p, err)
+		}
+		rows[i] = PredictorRow{
+			Workload:       st.Model.Name,
+			Predictor:      c.p,
+			Pred:           res.Pred,
+			Accuracy:       res.Pred.Accuracy(),
+			Precision:      res.Pred.Precision(),
+			Recall:         res.Pred.Recall(),
+			SharedBaseRate: stats.Ratio(res.SharedResidencies, res.Residencies),
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// DrivenRow is one (workload, predictor) end-to-end result (experiment
+// F8): a realistic predictor steering the protection wrapper, compared
+// against the bare base policy and the oracle ceiling.
+type DrivenRow struct {
+	Workload  string
+	Predictor string
+
+	BaseMisses   uint64
+	DrivenMisses uint64
+	OracleMisses uint64
+
+	Reduction       float64 // driven vs. base
+	OracleReduction float64 // oracle vs. base (the ceiling)
+	Protector       core.Stats
+}
+
+// PredictorDriven runs the F8 experiment for each workload and predictor
+// under the LRU base policy at the given strength.
+func (s *Suite) PredictorDriven(llcSize, llcWays int, cfg predictor.Config, names []string, opts core.Options) ([]DrivenRow, error) {
+	if len(names) == 0 {
+		names = []string{"addr", "pc"}
+	}
+	// The oracle ceiling depends only on the workload, so compute it once
+	// per stream rather than once per (workload, predictor) cell.
+	oracles := make([]*oracle.Result, len(s.Streams))
+	err := parallel(len(s.Streams), func(w int) error {
+		st := s.Streams[w]
+		orc, err := oracle.RunOpts(st.Accesses, llcSize, llcWays,
+			func() cache.Policy { return policy.NewLRUPolicy() }, opts)
+		if err != nil {
+			return fmt.Errorf("predictor driven %s (oracle leg): %w", st.Model.Name, err)
+		}
+		oracles[w] = orc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	type cell struct {
+		w int
+		p string
+	}
+	cells := make([]cell, 0, len(s.Streams)*len(names))
+	for w := range s.Streams {
+		for _, p := range names {
+			cells = append(cells, cell{w, p})
+		}
+	}
+	rows := make([]DrivenRow, len(cells))
+	err = parallel(len(cells), func(i int) error {
+		c := cells[i]
+		st := s.Streams[c.w]
+		orc := oracles[c.w]
+		pred, err := newPredictor(c.p, cfg)
+		if err != nil {
+			return err
+		}
+		res, pstats, err := predictor.DriveOpts(st.Accesses, llcSize, llcWays, policy.NewLRUPolicy(), pred, opts)
+		if err != nil {
+			return fmt.Errorf("predictor driven %s/%s: %w", st.Model.Name, c.p, err)
+		}
+		row := DrivenRow{
+			Workload:     st.Model.Name,
+			Predictor:    c.p,
+			BaseMisses:   orc.Base.Misses,
+			DrivenMisses: res.Misses,
+			OracleMisses: orc.Oracle.Misses,
+			Protector:    pstats,
+		}
+		if row.BaseMisses > 0 {
+			row.Reduction = float64(int64(row.BaseMisses)-int64(row.DrivenMisses)) / float64(row.BaseMisses)
+			row.OracleReduction = float64(int64(row.BaseMisses)-int64(row.OracleMisses)) / float64(row.BaseMisses)
+		}
+		rows[i] = row
+		return nil
+	})
+	return rows, err
+}

@@ -1,0 +1,181 @@
+// Package sim orchestrates the paper's experiments: it turns workload
+// models into LLC reference streams (once per workload — the private
+// hierarchy does not depend on the LLC, so one stream serves every LLC
+// size and policy) and fans the replay passes out across CPUs.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/workloads"
+)
+
+// Config describes one experimental setup.
+type Config struct {
+	// Machine supplies the private-cache geometry (its LLC fields are
+	// the default LLC; experiments usually override size per run).
+	Machine cache.Config
+	// Seed drives all workload generation and stochastic policies.
+	Seed uint64
+	// Scale multiplies workload region sizes and trace lengths; 1.0 is
+	// the full-size suite, smaller values shrink everything
+	// proportionally for quick runs against smaller LLCs.
+	Scale float64
+	// Models is the workload list; empty means the full suite.
+	Models []workloads.Model
+}
+
+// DefaultConfig is the paper's setup: the 4 MB-LLC machine (8 MB via
+// WithLLC), seed 1, full scale, full suite.
+func DefaultConfig() Config {
+	return Config{Machine: cache.DefaultConfig(), Seed: 1, Scale: 1}
+}
+
+// Stream is one workload's LLC reference stream with hierarchy stats.
+type Stream struct {
+	Model    workloads.Model
+	Accesses []cache.AccessInfo // NextUse-annotated
+
+	TraceLen uint64 // raw references generated
+	L1Hits   uint64
+	L2Hits   uint64
+}
+
+// LLCAPKI returns LLC accesses per thousand raw references — a coarse
+// check that the private levels filter realistically.
+func (s *Stream) LLCAPKI() float64 {
+	if s.TraceLen == 0 {
+		return 0
+	}
+	return 1000 * float64(len(s.Accesses)) / float64(s.TraceLen)
+}
+
+// BuildStream generates the model's trace, filters it through a fresh
+// private hierarchy and annotates next-use indices.
+func BuildStream(m workloads.Model, machine cache.Config, seed uint64) (*Stream, error) {
+	if m.Threads > machine.Cores {
+		return nil, fmt.Errorf("sim: workload %s has %d threads but machine has %d cores", m.Name, m.Threads, machine.Cores)
+	}
+	r, err := m.Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	stream, h, err := cache.FilterStream(r, machine)
+	if err != nil {
+		return nil, fmt.Errorf("sim: filtering %s: %w", m.Name, err)
+	}
+	cache.AnnotateNextUse(stream)
+	refs, l1, l2, _ := h.Stats()
+	return &Stream{Model: m, Accesses: stream, TraceLen: refs, L1Hits: l1, L2Hits: l2}, nil
+}
+
+// Suite holds the prepared streams for one Config.
+type Suite struct {
+	Config  Config
+	Streams []*Stream
+}
+
+// NewSuite prepares every workload's stream in parallel.
+func NewSuite(cfg Config) (*Suite, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("sim: non-positive scale %v", cfg.Scale)
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	models := cfg.Models
+	if len(models) == 0 {
+		models = workloads.Suite()
+	}
+	scaled := make([]workloads.Model, len(models))
+	for i, m := range models {
+		if cfg.Scale != 1 {
+			m = m.Scaled(cfg.Scale)
+		}
+		scaled[i] = m
+	}
+	streams := make([]*Stream, len(scaled))
+	err := parallel(len(scaled), func(i int) error {
+		s, err := BuildStream(scaled[i], cfg.Machine, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		streams[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{Config: cfg, Streams: streams}, nil
+}
+
+// Stream returns the prepared stream for the named workload.
+func (s *Suite) Stream(name string) (*Stream, error) {
+	for _, st := range s.Streams {
+		if st.Model.Name == name {
+			return st, nil
+		}
+	}
+	return nil, fmt.Errorf("sim: no prepared stream for workload %q", name)
+}
+
+// parallel runs f(0..n-1) across up to GOMAXPROCS workers and returns the
+// first error.
+func parallel(n int, f func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		next  int
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if first != nil || next >= n {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if first == nil {
+			first = err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				if err := f(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+
+	"sharellc/internal/report"
+	"sharellc/internal/reuse"
+	"sharellc/internal/stats"
+)
+
+// CharTable renders F1/F2 characterization rows.
+func CharTable(title string, rows []CharRow) *report.Table {
+	t := report.NewTable(title,
+		"workload", "suite", "llc-refs", "miss-rate", "shared-hit%", "ro-sh%", "rw-sh%", "shared-res%", "shared-blk%")
+	var hitFracs []float64
+	for _, r := range rows {
+		t.MustRow(r.Workload, r.Suite, report.N(r.Accesses), report.F(r.MissRate),
+			stats.Pct(r.SharedHitFrac), stats.Pct(r.ROSharedHitFrac), stats.Pct(r.RWSharedHitFrac),
+			stats.Pct(r.SharedResidencyFrac), stats.Pct(r.SharedBlockFrac))
+		hitFracs = append(hitFracs, r.SharedHitFrac)
+	}
+	t.Note = fmt.Sprintf("mean shared-hit fraction: %s", stats.Pct(stats.Mean(hitFracs)))
+	return t
+}
+
+// DegreeTable renders the F3 sharing-degree distribution.
+func DegreeTable(title string, rows []CharRow) *report.Table {
+	t := report.NewTable(title,
+		"workload",
+		"res d=1", "res d=2", "res d=3-4", "res d=5+",
+		"hit d=1", "hit d=2", "hit d=3-4", "hit d=5+")
+	for _, r := range rows {
+		t.MustRow(r.Workload,
+			stats.Pct(r.DegreeResidencyShare[0]), stats.Pct(r.DegreeResidencyShare[1]),
+			stats.Pct(r.DegreeResidencyShare[2]), stats.Pct(r.DegreeResidencyShare[3]),
+			stats.Pct(r.DegreeHitShare[0]), stats.Pct(r.DegreeHitShare[1]),
+			stats.Pct(r.DegreeHitShare[2]), stats.Pct(r.DegreeHitShare[3]))
+	}
+	t.Note = "residency and hit shares by sharing degree (cores touching the block during residency)"
+	return t
+}
+
+// PolicyTable renders F4 policy-comparison rows grouped by workload.
+func PolicyTable(title string, rows []PolicyRow) *report.Table {
+	t := report.NewTable(title, "workload", "policy", "misses", "vs-lru", "shared-hit%")
+	for _, r := range rows {
+		t.MustRow(r.Workload, r.Policy, report.N(r.Misses), report.F(r.MissesVsLRU), stats.Pct(r.SharedHitFrac))
+	}
+	// Per-policy geomean of normalized misses: the suite-level summary.
+	byPolicy := map[string][]float64{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byPolicy[r.Policy]; !ok {
+			order = append(order, r.Policy)
+		}
+		byPolicy[r.Policy] = append(byPolicy[r.Policy], r.MissesVsLRU)
+	}
+	note := "geomean misses vs LRU:"
+	for _, p := range order {
+		note += fmt.Sprintf(" %s=%.3f", p, stats.GeoMean(byPolicy[p]))
+	}
+	t.Note = note
+	return t
+}
+
+// OracleTable renders F5/F6 oracle-study rows.
+func OracleTable(title string, rows []OracleRow) *report.Table {
+	t := report.NewTable(title,
+		"workload", "policy", "base-misses", "oracle-misses", "reduction", "amat-speedup", "base-sh%", "orc-sh%")
+	for _, r := range rows {
+		t.MustRow(r.Workload, r.Policy, report.N(r.BaseMisses), report.N(r.OracleMisses),
+			stats.Pct(r.Reduction), report.F(r.AMATSpeedup), stats.Pct(r.BaseSharedHitFrac), stats.Pct(r.OracleSharedHitFrac))
+	}
+	note := "mean miss reduction:"
+	// Deterministic order: walk rows, first occurrence wins.
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Policy] {
+			seen[r.Policy] = true
+			note += fmt.Sprintf(" %s=%s", r.Policy, stats.Pct(MeanReduction(rows, r.Policy)))
+		}
+	}
+	t.Note = note
+	return t
+}
+
+// ReuseTable renders C2 reuse-distance rows: one row per (workload,
+// class) with the bucket shares.
+func ReuseTable(title string, rows []ReuseRow) *report.Table {
+	headers := []string{"workload", "class", "accesses"}
+	for b := 0; b < reuse.NumBuckets; b++ {
+		headers = append(headers, reuse.BucketLabel(b))
+	}
+	t := report.NewTable(title, headers...)
+	emit := func(w, class string, total uint64, shares [reuse.NumBuckets]float64) {
+		cells := []string{w, class, report.N(total)}
+		for b := 0; b < reuse.NumBuckets; b++ {
+			cells = append(cells, stats.Pct(shares[b]))
+		}
+		t.MustRow(cells...)
+	}
+	for _, r := range rows {
+		emit(r.Workload, "shared", r.SharedTotal, r.SharedShares)
+		emit(r.Workload, "private", r.PrivateTotal, r.PrivateShares)
+	}
+	t.Note = "LRU stack distances in blocks; 64K = 4MB capacity, 128K = 8MB capacity"
+	return t
+}
+
+// CoherenceTable renders C1 coherence-traffic rows.
+func CoherenceTable(title string, rows []CoherenceRow) *report.Table {
+	t := report.NewTable(title,
+		"workload", "refs", "inv/kref", "downgrade/kref", "c2c/kref", "upgrade/kref")
+	var c2c []float64
+	for _, r := range rows {
+		t.MustRow(r.Workload, report.N(r.Refs), report.F(r.InvalidationsPKR),
+			report.F(r.DowngradesPKR), report.F(r.C2CTransfersPKR), report.F(r.UpgradesPKR))
+		c2c = append(c2c, r.C2CTransfersPKR)
+	}
+	t.Note = fmt.Sprintf("MESI directory over infinite private caches; mean cache-to-cache rate %.3f/kref", stats.Mean(c2c))
+	return t
+}
+
+// PhaseTable renders F9 sharing-phase rows.
+func PhaseTable(title string, rows []PhaseRow) *report.Table {
+	t := report.NewTable(title,
+		"workload", "flip-rate", "mixed%", "always-sh", "never-sh", "mixed", "1-window")
+	var flips, mixed []float64
+	for _, r := range rows {
+		t.MustRow(r.Workload, report.F(r.FlipRate), stats.Pct(r.MixedFrac),
+			report.N(r.AlwaysShared), report.N(r.NeverShared), report.N(r.Mixed), report.N(r.SingleWindow))
+		flips = append(flips, r.FlipRate)
+		mixed = append(mixed, r.MixedFrac)
+	}
+	t.Note = fmt.Sprintf("mean flip rate %s, mean mixed fraction %s — phased sharing is what stales address/PC history",
+		report.F(stats.Mean(flips)), stats.Pct(stats.Mean(mixed)))
+	return t
+}
+
+// HorizonTable renders A4 horizon-sweep rows.
+func HorizonTable(title string, rows []HorizonRow) *report.Table {
+	t := report.NewTable(title, "workload", "horizon", "reduction")
+	byFactor := map[int][]float64{}
+	var order []int
+	for _, r := range rows {
+		t.MustRow(r.Workload, fmt.Sprintf("%dx", r.Factor), stats.Pct(r.Reduction))
+		if _, ok := byFactor[r.Factor]; !ok {
+			order = append(order, r.Factor)
+		}
+		byFactor[r.Factor] = append(byFactor[r.Factor], r.Reduction)
+	}
+	note := "mean reduction by horizon:"
+	for _, f := range order {
+		note += fmt.Sprintf(" %dx=%s", f, stats.Pct(stats.Mean(byFactor[f])))
+	}
+	t.Note = note
+	return t
+}
+
+// PredictorTable renders F7 accuracy rows.
+func PredictorTable(title string, rows []PredictorRow) *report.Table {
+	t := report.NewTable(title,
+		"workload", "predictor", "accuracy", "precision", "recall", "shared-rate")
+	for _, r := range rows {
+		t.MustRow(r.Workload, r.Predictor, report.F(r.Accuracy), report.F(r.Precision),
+			report.F(r.Recall), report.F(r.SharedBaseRate))
+	}
+	byPred := map[string][]float64{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byPred[r.Predictor]; !ok {
+			order = append(order, r.Predictor)
+		}
+		byPred[r.Predictor] = append(byPred[r.Predictor], r.Accuracy)
+	}
+	note := "mean accuracy:"
+	for _, p := range order {
+		note += fmt.Sprintf(" %s=%.3f", p, stats.Mean(byPred[p]))
+	}
+	t.Note = note
+	return t
+}
+
+// DrivenTable renders F8 predictor-driven rows.
+func DrivenTable(title string, rows []DrivenRow) *report.Table {
+	t := report.NewTable(title,
+		"workload", "predictor", "base-misses", "driven-misses", "reduction", "oracle-reduction")
+	byPred := map[string][]float64{}
+	var order []string
+	var oracleRed []float64
+	for _, r := range rows {
+		t.MustRow(r.Workload, r.Predictor, report.N(r.BaseMisses), report.N(r.DrivenMisses),
+			stats.Pct(r.Reduction), stats.Pct(r.OracleReduction))
+		if _, ok := byPred[r.Predictor]; !ok {
+			order = append(order, r.Predictor)
+		}
+		byPred[r.Predictor] = append(byPred[r.Predictor], r.Reduction)
+		if r.Predictor == order[0] {
+			oracleRed = append(oracleRed, r.OracleReduction)
+		}
+	}
+	note := "mean reduction:"
+	for _, p := range order {
+		note += fmt.Sprintf(" %s=%s", p, stats.Pct(stats.Mean(byPred[p])))
+	}
+	note += fmt.Sprintf(" oracle=%s", stats.Pct(stats.Mean(oracleRed)))
+	t.Note = note
+	return t
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	// Zero entries clamp, not crash.
+	if got := GeoMean([]float64{0, 1}); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("GeoMean with zero = %v", got)
+	}
+}
+
+func TestGeoMeanLeqMean(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-6 && x < 1e6 && !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio div-by-zero not guarded")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Error("Ratio wrong")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.0634); got != "6.34%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestBucketizeDegrees(t *testing.T) {
+	byDeg := make([]uint64, 10)
+	byDeg[1] = 50
+	byDeg[2] = 25
+	byDeg[3] = 10
+	byDeg[4] = 5
+	byDeg[8] = 10
+	shares := BucketizeDegrees(byDeg)
+	want := [4]float64{0.5, 0.25, 0.15, 0.10}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > 1e-9 {
+			t.Errorf("bucket %d share = %v, want %v", i, shares[i], want[i])
+		}
+	}
+}
+
+func TestBucketizeEmpty(t *testing.T) {
+	if BucketizeDegrees(nil) != [4]float64{} {
+		t.Error("empty histogram produced shares")
+	}
+	if BucketizeDegrees(make([]uint64, 5)) != [4]float64{} {
+		t.Error("zero histogram produced shares")
+	}
+}
+
+func TestBucketSharesSumToOne(t *testing.T) {
+	f := func(counts []uint64) bool {
+		byDeg := make([]uint64, len(counts))
+		var total uint64
+		for i, c := range counts {
+			c %= 1000
+			byDeg[i] = c
+			if i >= 1 {
+				total += c
+			}
+		}
+		shares := BucketizeDegrees(byDeg)
+		sum := shares[0] + shares[1] + shares[2] + shares[3]
+		if total == 0 {
+			return sum == 0
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

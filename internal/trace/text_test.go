@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	accs := []Access{
+		{Core: 0, Write: false, PC: 0x400000, Addr: 0x7fff0000},
+		{Core: 127, Write: true, PC: 0, Addr: 0},
+		{Core: 5, Write: false, PC: 1 << 62, Addr: 1 << 47},
+	}
+	var buf bytes.Buffer
+	n, err := WriteText(&buf, NewSliceReader(accs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("wrote %d records", n)
+	}
+	out, err := Collect(NewTextReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(accs) {
+		t.Fatalf("decoded %d records", len(out))
+	}
+	for i := range accs {
+		if out[i] != accs[i] {
+			t.Errorf("record %d: got %+v want %+v", i, out[i], accs[i])
+		}
+	}
+}
+
+func TestTextRoundTripProperty(t *testing.T) {
+	f := func(cores []uint8, pcs, addrs []uint64, writes []bool) bool {
+		n := len(cores)
+		for _, s := range []int{len(pcs), len(addrs), len(writes)} {
+			if s < n {
+				n = s
+			}
+		}
+		accs := make([]Access, n)
+		for i := 0; i < n; i++ {
+			accs[i] = Access{Core: cores[i] & maxCore, Write: writes[i], PC: pcs[i], Addr: Addr(addrs[i])}
+		}
+		var buf bytes.Buffer
+		if _, err := WriteText(&buf, NewSliceReader(accs)); err != nil {
+			return false
+		}
+		out, err := Collect(NewTextReader(&buf))
+		if err != nil || len(out) != n {
+			return false
+		}
+		for i := range accs {
+			if out[i] != accs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# header comment\n\n 1 W 0x10 0x40 \n\n# tail\n0 R 16 64\n"
+	out, err := Collect(NewTextReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decoded %d records, want 2", len(out))
+	}
+	if out[0] != (Access{Core: 1, Write: true, PC: 0x10, Addr: 0x40}) {
+		t.Errorf("record 0 = %+v", out[0])
+	}
+	// Decimal and hex are both accepted (ParseUint base 0).
+	if out[1] != (Access{Core: 0, PC: 16, Addr: 64}) {
+		t.Errorf("record 1 = %+v", out[1])
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []string{
+		"1 W 0x10",            // missing field
+		"1 W 0x10 0x40 extra", // extra field
+		"999 W 0x10 0x40",     // core out of range
+		"200 W 0x10 0x40",     // core > maxCore
+		"1 X 0x10 0x40",       // bad op
+		"1 W zz 0x40",         // bad pc
+		"1 W 0x10 zz",         // bad addr
+	}
+	for _, in := range cases {
+		r := NewTextReader(strings.NewReader(in))
+		if _, ok := r.Next(); ok {
+			t.Errorf("line %q decoded successfully", in)
+			continue
+		}
+		if r.Err() == nil {
+			t.Errorf("line %q produced no error", in)
+		}
+	}
+}
+
+func TestTextCleanEOF(t *testing.T) {
+	r := NewTextReader(strings.NewReader("0 R 0x1 0x40\n"))
+	if _, ok := r.Next(); !ok {
+		t.Fatal("record missing")
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("phantom record")
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF errored: %v", r.Err())
+	}
+}

@@ -1,0 +1,133 @@
+package workloads
+
+import (
+	"testing"
+
+	"sharellc/internal/trace"
+)
+
+func mixModels(t *testing.T, n int) []Model {
+	t.Helper()
+	var ms []Model
+	for i := 0; i < n; i++ {
+		m := tiny()
+		m.Name = m.Name + string(rune('a'+i))
+		m.AccessesPerThread = 2000
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+func TestMixValidation(t *testing.T) {
+	if _, err := Mix(nil, 1); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := Mix(make([]Model, 200), 1); err == nil {
+		t.Error("oversized mix accepted")
+	}
+}
+
+func TestMixCoresAndAddressSpaces(t *testing.T) {
+	ms := mixModels(t, 4)
+	r, err := Mix(ms, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs, err := trace.Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 4*2000 {
+		t.Fatalf("mix produced %d accesses, want 8000", len(accs))
+	}
+	// Each slot uses exactly its own core and its own address space;
+	// block sets must be fully disjoint across slots.
+	blocksBySlot := make([]map[uint64]bool, 4)
+	for i := range blocksBySlot {
+		blocksBySlot[i] = map[uint64]bool{}
+	}
+	for _, a := range accs {
+		if a.Core > 3 {
+			t.Fatalf("access from core %d in a 4-program mix", a.Core)
+		}
+		b := a.Addr.BlockID()
+		if slot := b >> mixSlotShift; slot != uint64(a.Core) {
+			t.Fatalf("core %d touched slot %d's address space", a.Core, slot)
+		}
+		blocksBySlot[a.Core][b] = true
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			for b := range blocksBySlot[i] {
+				if blocksBySlot[j][b] {
+					t.Fatalf("slots %d and %d share block %d", i, j, b)
+				}
+			}
+		}
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	ms := mixModels(t, 2)
+	collect := func() []trace.Access {
+		r, err := Mix(ms, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs, err := trace.Collect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return accs
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mix diverged at access %d", i)
+		}
+	}
+}
+
+func TestMixSlotsDiffer(t *testing.T) {
+	// Two instances of the SAME model must not replay identical streams
+	// (per-slot seed offset).
+	ms := []Model{tiny(), tiny()}
+	ms[0].AccessesPerThread = 2000
+	ms[1].AccessesPerThread = 2000
+	r, err := Mix(ms, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs, err := trace.Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s0, s1 []uint64
+	for _, a := range accs {
+		local := a.Addr.BlockID() & (1<<mixSlotShift - 1)
+		if a.Core == 0 {
+			s0 = append(s0, local)
+		} else {
+			s1 = append(s1, local)
+		}
+	}
+	same := 0
+	for i := 0; i < len(s0) && i < len(s1); i++ {
+		if s0[i] == s1[i] {
+			same++
+		}
+	}
+	if float64(same) > 0.5*float64(len(s0)) {
+		t.Error("mix slots of the same model replayed near-identical streams")
+	}
+}
+
+func TestMixName(t *testing.T) {
+	if MixName(nil) != "mix()" {
+		t.Error("empty mix name")
+	}
+	ms := mixModels(t, 2)
+	if got := MixName(ms); got != "mix("+ms[0].Name+"+"+ms[1].Name+")" {
+		t.Errorf("MixName = %q", got)
+	}
+}
