@@ -1,0 +1,90 @@
+// Command dumprows prints experiment rows for a small fixed config so two
+// versions of the simulator can be diffed for bit-identical output.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/core"
+	"sharellc/internal/predictor"
+	"sharellc/internal/sim"
+	"sharellc/internal/workloads"
+)
+
+func main() {
+	models := make([]workloads.Model, 0, 3)
+	for _, name := range []string{"canneal", "streamcluster", "swaptions"} {
+		m, err := workloads.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	cfg := sim.Config{
+		Machine: cache.Config{
+			Cores:  8,
+			L1Size: 2 * cache.KB, L1Ways: 2,
+			L2Size: 8 * cache.KB, L2Ways: 4,
+			LLCSize: 64 * cache.KB, LLCWays: 8,
+		},
+		Seed:   1,
+		Scale:  0.05,
+		Models: models,
+	}
+	s, err := sim.NewSuite(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const size, ways = 64 * cache.KB, 8
+	char, err := s.Characterize(size, ways)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range char {
+		fmt.Printf("char %+v\n", r)
+	}
+	pol, err := s.ComparePolicies(size, ways, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range pol {
+		fmt.Printf("policy %+v\n", r)
+	}
+	orc, err := s.OracleStudy(size, ways, []string{"lru", "srrip"}, core.Options{Strength: core.Full})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range orc {
+		fmt.Printf("oracle %+v\n", r)
+	}
+	pred, err := s.PredictorAccuracy(size, ways, predictor.DefaultConfig(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range pred {
+		fmt.Printf("pred %+v\n", r)
+	}
+	drv, err := s.PredictorDriven(size, ways, predictor.DefaultConfig(), []string{"addr", "pc"}, core.Options{Strength: core.Full})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range drv {
+		fmt.Printf("driven %+v\n", r)
+	}
+	reuse, err := s.ReuseDistances(size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reuse {
+		fmt.Printf("reuse %+v\n", r)
+	}
+	ph, err := s.SharingPhases(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range ph {
+		fmt.Printf("phase %+v\n", r)
+	}
+}

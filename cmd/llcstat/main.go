@@ -104,6 +104,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	cache.AssignBlockIDs(stream)
 	refs, l1, l2, llcRefs := h.Stats()
 	fmt.Printf("\nprivate hierarchy (%s):\n", cache.DefaultConfig())
 	fmt.Printf("  L1 hits: %d (%.1f%%), L2 hits: %d (%.1f%%), to LLC: %d (%.1f%%)\n",

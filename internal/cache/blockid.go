@@ -1,0 +1,81 @@
+package cache
+
+// Dense block identifiers.
+//
+// Raw block numbers are sparse 64-bit values, so every structure keyed by
+// block — residency trackers, next-use indices, reuse-distance stacks,
+// coherence directories — would otherwise pay a hash-map lookup per
+// access. An LLC reference stream is fully materialized before any replay
+// begins, so the sparse→dense mapping can be built exactly once per
+// stream; afterwards every replay pass indexes flat slices.
+//
+// Convention: a stream either has BlockIDs assigned (distinct blocks ↔
+// distinct IDs, IDs in [0, NumBlockIDs)) or is "unassigned" (every
+// BlockID still zero, the field's zero value). EnsureBlockIDs tells the
+// two apart without a hash pass: an assigned stream with ≥ 2 distinct
+// blocks necessarily contains a nonzero ID.
+
+// AssignBlockIDs assigns each distinct block of stream a dense uint32 ID
+// in first-touch order and returns the number of distinct blocks. It is
+// the only per-stream hashing pass; every replay structure downstream
+// indexes flat slices by the IDs it produces.
+func AssignBlockIDs(stream []AccessInfo) int {
+	ids := make(map[uint64]uint32, 1<<16)
+	for i := range stream {
+		b := stream[i].Block
+		id, ok := ids[b]
+		if !ok {
+			id = uint32(len(ids))
+			ids[b] = id
+		}
+		stream[i].BlockID = id
+	}
+	return len(ids)
+}
+
+// NumBlockIDs returns 1 + the largest BlockID in stream (0 for an empty
+// stream) — the flat-slice length replay structures need. It assumes the
+// stream's IDs were assigned by AssignBlockIDs; a subslice of an assigned
+// stream merely over-counts, which only wastes slice capacity.
+func NumBlockIDs(stream []AccessInfo) int {
+	max := uint32(0)
+	for i := range stream {
+		if id := stream[i].BlockID; id > max {
+			max = id
+		}
+	}
+	if len(stream) == 0 {
+		return 0
+	}
+	return int(max) + 1
+}
+
+// EnsureBlockIDs returns a stream with BlockIDs assigned plus the
+// flat-slice length to index them, copying the stream only when the input
+// lacks IDs (so callers holding an annotated stream pay one scan and zero
+// allocations, while hand-built streams keep working and are never
+// mutated). Detection: an assigned stream with ≥ 2 distinct blocks has a
+// nonzero BlockID somewhere; all-zero IDs over ≥ 2 distinct blocks means
+// unassigned.
+func EnsureBlockIDs(stream []AccessInfo) ([]AccessInfo, int) {
+	if len(stream) == 0 {
+		return stream, 0
+	}
+	max := uint32(0)
+	first := stream[0].Block
+	uniform := true
+	for i := range stream {
+		if id := stream[i].BlockID; id > max {
+			max = id
+		}
+		if stream[i].Block != first {
+			uniform = false
+		}
+	}
+	if max == 0 && !uniform {
+		cp := make([]AccessInfo, len(stream))
+		copy(cp, stream)
+		return cp, AssignBlockIDs(cp)
+	}
+	return stream, int(max) + 1
+}

@@ -24,6 +24,15 @@ type AccessInfo struct {
 	PC    uint64 // program counter of the triggering instruction
 	Write bool   // store vs. load
 
+	// BlockID is the dense per-stream identifier of Block: distinct blocks
+	// of one stream get consecutive IDs starting at 0, in first-touch
+	// order. It lets replay-side structures (residency trackers, next-use
+	// chains, reuse profilers, directories) index flat slices instead of
+	// hashing the sparse 64-bit block number on every access. Assigned by
+	// AssignBlockIDs (AnnotateNextUse calls it); see EnsureBlockIDs for the
+	// convention consumers rely on.
+	BlockID uint32
+
 	// Index is the position of this access in the LLC reference stream.
 	Index int64
 
@@ -88,23 +97,34 @@ type SetAssoc struct {
 	evicts   uint64
 }
 
+// Geometry validates a (size, ways) pair and returns the set count
+// NewSetAssoc would produce, letting callers reason about sets (e.g. to
+// pick a shard count) without building a cache.
+func Geometry(sizeBytes, ways int) (sets int, err error) {
+	if sizeBytes <= 0 || ways <= 0 {
+		return 0, fmt.Errorf("cache: non-positive geometry (size %d, ways %d)", sizeBytes, ways)
+	}
+	blocks := sizeBytes / trace.BlockSize
+	if blocks*trace.BlockSize != sizeBytes {
+		return 0, fmt.Errorf("cache: size %d is not a multiple of the block size %d", sizeBytes, trace.BlockSize)
+	}
+	sets = blocks / ways
+	if sets == 0 || sets*ways != blocks {
+		return 0, fmt.Errorf("cache: size %d with %d ways leaves a fractional set count", sizeBytes, ways)
+	}
+	if sets&(sets-1) != 0 {
+		return 0, fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return sets, nil
+}
+
 // NewSetAssoc builds a cache of sizeBytes capacity and the given
 // associativity, managed by policy. sizeBytes must be a multiple of
 // ways*trace.BlockSize and the resulting set count must be a power of two.
 func NewSetAssoc(sizeBytes, ways int, policy Policy) (*SetAssoc, error) {
-	if sizeBytes <= 0 || ways <= 0 {
-		return nil, fmt.Errorf("cache: non-positive geometry (size %d, ways %d)", sizeBytes, ways)
-	}
-	blocks := sizeBytes / trace.BlockSize
-	if blocks*trace.BlockSize != sizeBytes {
-		return nil, fmt.Errorf("cache: size %d is not a multiple of the block size %d", sizeBytes, trace.BlockSize)
-	}
-	sets := blocks / ways
-	if sets == 0 || sets*ways != blocks {
-		return nil, fmt.Errorf("cache: size %d with %d ways leaves a fractional set count", sizeBytes, ways)
-	}
-	if sets&(sets-1) != 0 {
-		return nil, fmt.Errorf("cache: set count %d is not a power of two", sets)
+	sets, err := Geometry(sizeBytes, ways)
+	if err != nil {
+		return nil, err
 	}
 	if policy == nil {
 		return nil, fmt.Errorf("cache: nil policy")
@@ -164,24 +184,24 @@ func (c *SetAssoc) Access(a AccessInfo) Result {
 	c.accesses++
 	set := c.SetOf(a.Block)
 	base := set * c.ways
-	// Hit path.
+	// One pass over the set finds both the hit way and the first invalid
+	// way (the fill target should the lookup miss).
+	way := -1
 	for w := 0; w < c.ways; w++ {
 		ln := &c.lines[base+w]
-		if ln.valid && ln.block == a.Block {
+		if !ln.valid {
+			if way < 0 {
+				way = w
+			}
+			continue
+		}
+		if ln.block == a.Block {
 			c.hits++
 			if a.Write {
 				ln.dirty = true
 			}
 			c.policy.Hit(set, w, a)
 			return Result{Hit: true, Set: set, Way: w}
-		}
-	}
-	// Miss: prefer an invalid way.
-	way := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.lines[base+w].valid {
-			way = w
-			break
 		}
 	}
 	res := Result{Set: set}
@@ -228,11 +248,28 @@ func (c *SetAssoc) Stats() (accesses, hits, fills, evicts uint64) {
 // Contents returns the valid block numbers currently cached, mainly for
 // tests and debugging.
 func (c *SetAssoc) Contents() []uint64 {
-	var out []uint64
-	for _, ln := range c.lines {
-		if ln.valid {
-			out = append(out, ln.block)
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	out := make([]uint64, 0, n)
+	for i := range c.lines {
+		if c.lines[i].valid {
+			out = append(out, c.lines[i].block)
 		}
 	}
 	return out
+}
+
+// PerSetIndependent reports whether p declares that its replacement
+// decisions in one set depend only on the sequence of accesses to that set
+// (no cross-set state such as dueling counters, shared RNG draws or global
+// prediction tables). Per-set-independent policies may be replayed with the
+// stream sharded by set index and produce results identical to a
+// sequential replay; see sharing.ReplayParallel.
+func PerSetIndependent(p Policy) bool {
+	ps, ok := p.(interface{ PerSetIndependent() bool })
+	return ok && ps.PerSetIndependent()
 }

@@ -212,20 +212,24 @@ func FilterStreamWriteback(r trace.Reader, cfg Config) ([]AccessInfo, *Hierarchy
 	return stream, h, nil
 }
 
-// AnnotateNextUse fills in the NextUse field of every access in stream
-// with the index of the next access to the same block (NoNextUse if none).
-// This is the single backward pass that makes Belady OPT exact.
-func AnnotateNextUse(stream []AccessInfo) {
-	next := make(map[uint64]int64, 1<<16)
-	for i := len(stream) - 1; i >= 0; i-- {
-		b := stream[i].Block
-		if n, ok := next[b]; ok {
-			stream[i].NextUse = n
-		} else {
-			stream[i].NextUse = NoNextUse
-		}
-		next[b] = int64(i)
+// AnnotateNextUse assigns dense BlockIDs (AssignBlockIDs) and fills in the
+// NextUse field of every access in stream with the index of the next
+// access to the same block (NoNextUse if none), returning the number of
+// distinct blocks. The backward pass that makes Belady OPT exact indexes a
+// flat per-block slice, so the ID assignment is the only hashing the whole
+// stream preparation performs.
+func AnnotateNextUse(stream []AccessInfo) int {
+	numBlocks := AssignBlockIDs(stream)
+	next := make([]int64, numBlocks)
+	for i := range next {
+		next[i] = NoNextUse
 	}
+	for i := len(stream) - 1; i >= 0; i-- {
+		id := stream[i].BlockID
+		stream[i].NextUse = next[id]
+		next[id] = int64(i)
+	}
+	return numBlocks
 }
 
 // System couples a private hierarchy with an inclusive shared LLC: every

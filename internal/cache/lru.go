@@ -63,6 +63,12 @@ func (p *LRU) Demote(set, way int) {
 	p.stamp[base+way] = min - 1
 }
 
+// PerSetIndependent reports that LRU decisions depend only on the relative
+// recency order within each set: the global clock assigns stamps whose
+// within-set ordering is unaffected by how accesses to other sets
+// interleave, so set-sharded replay is exact.
+func (p *LRU) PerSetIndependent() bool { return true }
+
 // Ways returns the associativity this policy was attached with.
 func (p *LRU) Ways() int { return p.ways }
 

@@ -86,15 +86,40 @@ func (e *entry) sharerCount() int {
 }
 
 // Directory is the MESI directory. It is not safe for concurrent use.
+//
+// Entries live in one contiguous slab with the block-number index mapping
+// into it, so tracking a new block is a slab append instead of a heap
+// allocation per block.
 type Directory struct {
-	entries map[uint64]*entry
-	stats   Stats
-	clock   uint64 // event counter, advanced per Load/Store
+	index map[uint64]uint32 // block → slab position + 1
+	slab  []entry
+	stats Stats
+	clock uint64 // event counter, advanced per Load/Store
 }
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{entries: make(map[uint64]*entry, 1<<16)}
+	return &Directory{index: make(map[uint64]uint32, 1<<16)}
+}
+
+// lookup returns the entry tracking block, or nil if none. The pointer is
+// valid only until the next ensure (a slab append may move entries).
+func (d *Directory) lookup(block uint64) *entry {
+	if i := d.index[block]; i != 0 {
+		return &d.slab[i-1]
+	}
+	return nil
+}
+
+// ensure returns the entry tracking block, appending a fresh Invalid one
+// to the slab if the block is untracked.
+func (d *Directory) ensure(block uint64) *entry {
+	if i := d.index[block]; i != 0 {
+		return &d.slab[i-1]
+	}
+	d.slab = append(d.slab, entry{})
+	d.index[block] = uint32(len(d.slab))
+	return &d.slab[len(d.slab)-1]
 }
 
 // Stats returns the aggregate protocol statistics.
@@ -105,8 +130,8 @@ func (d *Directory) Clock() uint64 { return d.clock }
 
 // StateOf reports a block's current state and sharer count.
 func (d *Directory) StateOf(block uint64) (State, int) {
-	e, ok := d.entries[block]
-	if !ok {
+	e := d.lookup(block)
+	if e == nil {
 		return Invalid, 0
 	}
 	return e.state, e.sharerCount()
@@ -115,8 +140,8 @@ func (d *Directory) StateOf(block uint64) (State, int) {
 // LastSharingEvent returns the event-clock value of the block's most
 // recent cross-core interaction and whether one has ever occurred.
 func (d *Directory) LastSharingEvent(block uint64) (uint64, bool) {
-	e, ok := d.entries[block]
-	if !ok || e.lastEvent == 0 {
+	e := d.lookup(block)
+	if e == nil || e.lastEvent == 0 {
 		return 0, false
 	}
 	return e.lastEvent, true
@@ -126,11 +151,7 @@ func (d *Directory) LastSharingEvent(block uint64) (uint64, bool) {
 func (d *Directory) Load(core uint8, block uint64) {
 	d.clock++
 	d.stats.Loads++
-	e, ok := d.entries[block]
-	if !ok {
-		e = &entry{}
-		d.entries[block] = e
-	}
+	e := d.ensure(block)
 	switch e.state {
 	case Invalid:
 		d.stats.ColdFills++
@@ -158,11 +179,7 @@ func (d *Directory) Load(core uint8, block uint64) {
 func (d *Directory) Store(core uint8, block uint64) {
 	d.clock++
 	d.stats.Stores++
-	e, ok := d.entries[block]
-	if !ok {
-		e = &entry{}
-		d.entries[block] = e
-	}
+	e := d.ensure(block)
 	switch e.state {
 	case Invalid:
 		d.stats.ColdFills++
@@ -199,8 +216,8 @@ func (d *Directory) Store(core uint8, block uint64) {
 // Evict removes core's copy of block (a private-cache eviction). The
 // directory transitions S→S/I and M/E→I as appropriate.
 func (d *Directory) Evict(core uint8, block uint64) {
-	e, ok := d.entries[block]
-	if !ok || !e.hasSharer(core) {
+	e := d.lookup(block)
+	if e == nil || !e.hasSharer(core) {
 		return
 	}
 	e.dropSharer(core)
@@ -216,7 +233,8 @@ func (d *Directory) Evict(core uint8, block uint64) {
 // CheckInvariants validates the MESI invariants over every entry and
 // returns the first violation, for property tests.
 func (d *Directory) CheckInvariants() error {
-	for b, e := range d.entries {
+	for b, i := range d.index {
+		e := &d.slab[i-1]
 		n := e.sharerCount()
 		switch e.state {
 		case Invalid:

@@ -61,29 +61,30 @@ const HorizonFactor = 4
 // the protected run's fills diverge from the base run's (unlike
 // residency-outcome bits, which are only defined for the base schedule's
 // own fills).
+//
+// The same-block successor positions are exactly the stream's NextUse
+// chain, so annotated streams (cache.AnnotateNextUse — the standard
+// pipeline) need no per-block position index at all; unannotated streams
+// are copied and annotated on the fly.
 func SharedHints(stream []cache.AccessInfo, horizon int64) []bool {
 	hints := make([]bool, len(stream))
-	// Group access positions per block, then two-pointer each group.
-	positions := make(map[uint64][]int32, 1<<16)
-	if len(stream) > 1<<31-1 {
-		panic("oracle: stream too long for int32 positions")
+	for i := range stream {
+		// NextUse always points strictly forward, so a zero anywhere
+		// means the stream was never annotated.
+		if stream[i].NextUse == 0 {
+			cp := make([]cache.AccessInfo, len(stream))
+			copy(cp, stream)
+			cache.AnnotateNextUse(cp)
+			stream = cp
+			break
+		}
 	}
 	for i := range stream {
-		b := stream[i].Block
-		positions[b] = append(positions[b], int32(i))
-	}
-	for _, ps := range positions {
-		for j, pj := range ps {
-			cj := stream[pj].Core
-			for l := j + 1; l < len(ps); l++ {
-				pl := ps[l]
-				if int64(pl)-int64(pj) > horizon {
-					break
-				}
-				if stream[pl].Core != cj {
-					hints[pj] = true
-					break
-				}
+		c := stream[i].Core
+		for j := stream[i].NextUse; j != cache.NoNextUse && j-int64(i) <= horizon; j = stream[j].NextUse {
+			if stream[j].Core != c {
+				hints[i] = true
+				break
 			}
 		}
 	}
@@ -101,10 +102,18 @@ func RunOpts(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() c
 // lookahead window in multiples of the LLC capacity); the A4 ablation
 // sweeps it.
 func RunHorizon(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() cache.Policy, opts core.Options, horizonFactor int) (*Result, error) {
+	return RunHorizonShards(stream, llcSize, llcWays, newPolicy, opts, horizonFactor, 0)
+}
+
+// RunHorizonShards is RunHorizon with an explicit shard request for the
+// bare pass-1 replay (see sharing.Options.Shards; 0 = automatic). Pass 2
+// installs a fill-time hook and therefore always replays sequentially, so
+// study results are identical at every shard count.
+func RunHorizonShards(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() cache.Policy, opts core.Options, horizonFactor, shards int) (*Result, error) {
 	if horizonFactor < 1 {
 		return nil, fmt.Errorf("oracle: horizon factor %d < 1", horizonFactor)
 	}
-	base, err := sharing.Replay(stream, llcSize, llcWays, newPolicy(), sharing.Options{})
+	base, err := sharing.ReplayParallel(stream, llcSize, llcWays, newPolicy, sharing.Options{Shards: shards})
 	if err != nil {
 		return nil, fmt.Errorf("oracle: pass 1: %w", err)
 	}

@@ -93,27 +93,30 @@ func Analyze(stream []cache.AccessInfo, windows int) (*Result, error) {
 		ActiveBlocks: make([]uint64, windows),
 		SharedBlocks: make([]uint64, windows),
 	}
-	hist := make(map[uint64]*blockHistory, 1<<16)
+	// Flat per-BlockID state (cache.EnsureBlockIDs) instead of hashed
+	// maps: histories for the whole stream, core masks rebuilt each
+	// window with the touched IDs listed so the flush doesn't rescan
+	// every block.
+	stream, numBlocks := cache.EnsureBlockIDs(stream)
+	hist := make([]blockHistory, numBlocks)
 
-	// Per-window core masks, rebuilt each window.
 	type masks struct{ lo, hi uint64 }
-	cur := make(map[uint64]masks, 1<<14)
+	cur := make([]masks, numBlocks)
+	touched := make([]uint32, 0, 1<<12)
 
 	flush := func(w int) {
-		for b, m := range cur {
-			h := hist[b]
-			if h == nil {
-				h = &blockHistory{}
-				hist[b] = h
-			}
+		for _, id := range touched {
+			m := cur[id]
+			h := &hist[id]
 			h.active |= 1 << w
 			if bits.OnesCount64(m.lo)+bits.OnesCount64(m.hi) >= 2 {
 				h.shared |= 1 << w
 				res.SharedBlocks[w]++
 			}
 			res.ActiveBlocks[w]++
-			delete(cur, b)
+			cur[id] = masks{}
 		}
+		touched = touched[:0]
 	}
 
 	for w := 0; w < windows; w++ {
@@ -127,19 +130,25 @@ func Analyze(stream []cache.AccessInfo, windows int) (*Result, error) {
 		}
 		for i := start; i < end; i++ {
 			a := stream[i]
-			m := cur[a.Block]
+			m := &cur[a.BlockID]
+			if m.lo|m.hi == 0 {
+				touched = append(touched, a.BlockID)
+			}
 			if a.Core < 64 {
 				m.lo |= 1 << a.Core
 			} else {
 				m.hi |= 1 << (a.Core - 64)
 			}
-			cur[a.Block] = m
 		}
 		flush(w)
 	}
 
 	// Transition and block-level statistics.
-	for _, h := range hist {
+	for id := range hist {
+		h := &hist[id]
+		if h.active == 0 {
+			continue
+		}
 		res.DistinctTotal++
 		activeWindows := bits.OnesCount64(h.active)
 		if activeWindows < 2 {

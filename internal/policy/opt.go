@@ -66,6 +66,11 @@ func (p *OPT) RankVictims(set int, _ cache.AccessInfo) []int {
 	return p.rankBuf
 }
 
+// PerSetIndependent reports that OPT qualifies for set-sharded replay: its
+// per-line next-use horizons are global stream indices that do not depend
+// on how accesses to other sets interleave.
+func (p *OPT) PerSetIndependent() bool { return true }
+
 // horizonAt maps NoNextUse to a value beyond any real stream index so
 // never-reused lines always rank first.
 func (p *OPT) horizonAt(idx int) int64 {

@@ -69,6 +69,10 @@ func (p *PLRU) Fill(set, way int, _ cache.AccessInfo) { p.touch(set, way) }
 // Promote implements core.Promoter.
 func (p *PLRU) Promote(set, way int) { p.touch(set, way) }
 
+// PerSetIndependent reports that PLRU qualifies for set-sharded replay:
+// its direction-bit trees are pure per-set state.
+func (p *PLRU) PerSetIndependent() bool { return true }
+
 // Demote points the whole path at way, making it the next victim
 // (core.Demoter).
 func (p *PLRU) Demote(set, way int) {

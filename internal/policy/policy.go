@@ -77,6 +77,14 @@ func Names(seed uint64) []string {
 // (everything except Belady OPT).
 func Realistic(name string) bool { return name != "opt" }
 
+// PerSet reports whether p's replacement decisions in one set depend only
+// on the accesses to that set, making it eligible for set-sharded replay
+// (sharing.ReplayParallel). LRU, FIFO, NRU, PLRU, LIP, SRRIP and OPT
+// qualify; policies with cross-set state — shared RNG draws (Random, BIP,
+// BRRIP), set-dueling selectors (DIP, DRRIP) or global prediction tables
+// (SHiP) — do not, and fall back to the sequential replay path.
+func PerSet(p cache.Policy) bool { return cache.PerSetIndependent(p) }
+
 // rankByKey is a helper for VictimRanker implementations: it returns way
 // indices sorted by descending key (higher key = better victim), breaking
 // ties by ascending way index for determinism.

@@ -82,6 +82,11 @@ func (p *SRRIP) Name() string { return "srrip" }
 // Fill implements cache.Policy.
 func (p *SRRIP) Fill(set, way int, _ cache.AccessInfo) { p.insert(set, way, rripMax-1) }
 
+// PerSetIndependent reports that SRRIP qualifies for set-sharded replay.
+// Declared on SRRIP (not rripCore) deliberately: BRRIP, DRRIP and SHiP
+// embed rripCore but carry cross-set state and must not inherit it.
+func (p *SRRIP) PerSetIndependent() bool { return true }
+
 // brripEpsilon is the probability BRRIP inserts at long (rather than
 // distant) re-reference.
 const brripEpsilon = 1.0 / 32

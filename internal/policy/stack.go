@@ -105,6 +105,10 @@ func (p *FIFO) Victim(set int, _ cache.AccessInfo) int {
 	return victim
 }
 
+// PerSetIndependent reports that FIFO qualifies for set-sharded replay:
+// within-set stamp order is independent of cross-set interleaving.
+func (p *FIFO) PerSetIndependent() bool { return true }
+
 // RankVictims implements VictimRanker: oldest fill first.
 func (p *FIFO) RankVictims(set int, _ cache.AccessInfo) []int {
 	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
@@ -160,6 +164,10 @@ func (p *NRU) Victim(set int, _ cache.AccessInfo) int {
 	}
 	return 0
 }
+
+// PerSetIndependent reports that NRU qualifies for set-sharded replay: its
+// reference bits are pure per-set state.
+func (p *NRU) PerSetIndependent() bool { return true }
 
 // RankVictims implements VictimRanker: clear-bit ways first (ascending
 // way), then set-bit ways.
@@ -247,6 +255,11 @@ func (p *LIP) Name() string { return "lip" }
 
 // Fill implements cache.Policy.
 func (p *LIP) Fill(set, way int, _ cache.AccessInfo) { p.insertAtLRU(set, way) }
+
+// PerSetIndependent reports that LIP qualifies for set-sharded replay.
+// Declared on LIP (not lipCore) deliberately: BIP and DIP embed lipCore
+// but draw on a shared RNG / dueling selector and must not inherit it.
+func (p *LIP) PerSetIndependent() bool { return true }
 
 // BIP (bimodal insertion policy) is LIP that inserts at MRU with a small
 // probability epsilon (1/32), letting it adapt to slowly-changing working

@@ -51,24 +51,27 @@ func (f *fenwick) sum(i int) int32 {
 }
 
 // Distances computes the reuse distance of every access in stream.
-// First-touch accesses get Infinite.
+// First-touch accesses get Infinite. The per-block previous-position
+// table is a flat slice over dense BlockIDs (cache.EnsureBlockIDs), not a
+// hash of the sparse block number.
 func Distances(stream []cache.AccessInfo) []int64 {
 	out := make([]int64, len(stream))
 	fw := newFenwick(len(stream))
-	last := make(map[uint64]int, 1<<16) // block → previous position
+	stream, numBlocks := cache.EnsureBlockIDs(stream)
+	last := make([]int64, numBlocks) // BlockID → previous position + 1
 	for i := range stream {
-		b := stream[i].Block
-		if p, ok := last[b]; ok {
-			// Distinct blocks touched in (p, i) = marked positions in
+		id := stream[i].BlockID
+		if p := last[id]; p != 0 {
+			// Distinct blocks touched in (p-1, i) = marked positions in
 			// that open interval; each block is marked only at its most
 			// recent position.
-			out[i] = int64(fw.sum(i-1) - fw.sum(p))
-			fw.add(p, -1)
+			out[i] = int64(fw.sum(i-1) - fw.sum(int(p-1)))
+			fw.add(int(p-1), -1)
 		} else {
 			out[i] = Infinite
 		}
 		fw.add(i, 1)
-		last[b] = i
+		last[id] = int64(i) + 1
 	}
 	return out
 }

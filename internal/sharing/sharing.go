@@ -8,12 +8,21 @@
 // **private** otherwise. This is the classification the paper uses to
 // split LLC hit volume into shared and private contributions and to define
 // the target of the fill-time sharing oracle and predictors.
+//
+// The replay engine keys every per-block structure by the dense
+// cache.AccessInfo.BlockID instead of hashing the sparse 64-bit block
+// number, so the hot loop indexes flat slices. For per-set-independent
+// policies ReplayParallel additionally shards the stream by LLC set index
+// and replays the shards concurrently, merging into a result bit-identical
+// to the sequential Replay.
 package sharing
 
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
 
 	"sharellc/internal/cache"
 )
@@ -26,9 +35,10 @@ type Residency struct {
 	FillPC     uint64 // PC that triggered the fill
 	Hits       uint64 // hits received during the residency
 	coreMask   [2]uint64
-	written    bool  // any store touched the residency (fill included)
-	Predicted  bool  // the PredictShared hint attached at fill time
-	EvictIndex int64 // stream index of the evicting access, or -1 if alive at stream end
+	id         uint32 // dense BlockID of Block within the replayed stream
+	written    bool   // any store touched the residency (fill included)
+	Predicted  bool   // the PredictShared hint attached at fill time
+	EvictIndex int64  // stream index of the evicting access, or -1 if alive at stream end
 }
 
 // addCore marks core as having touched the residency.
@@ -96,6 +106,12 @@ type Hooks struct {
 	OnAccess func(a cache.AccessInfo)
 }
 
+// any reports whether at least one hook is installed. Hooks observe the
+// replay in stream order, so their presence forces a sequential replay.
+func (h Hooks) any() bool {
+	return h.PredictShared != nil || h.OnResidencyEnd != nil || h.OnAccess != nil
+}
+
 // Options configures a Replay.
 type Options struct {
 	// KeepResidencies retains every closed residency in Result for
@@ -108,6 +124,13 @@ type Options struct {
 	// the warmup boundary.
 	Warmup int
 	Hooks  Hooks
+
+	// Shards controls the set-sharded parallel replay of ReplayParallel:
+	// 0 picks a shard count automatically (GOMAXPROCS, capped), 1 forces
+	// a sequential replay, and n > 1 requests up to n shards (rounded
+	// down to a power of two and clamped to the cache's set count).
+	// Sequential Replay ignores it.
+	Shards int
 }
 
 // PredStats accumulates fill-time prediction outcomes against residency
@@ -209,104 +232,135 @@ func (r *Result) SharedHitFraction() float64 {
 	return float64(r.SharedHits) / float64(r.Hits)
 }
 
-// Replay runs stream through a fresh cache of llcSize bytes and llcWays
-// associativity under policy p, tracking residencies.
-//
-// The stream must have contiguous Index values starting at 0 (as produced
-// by cache.FilterStream); Replay validates this because the oracle keys
-// its knowledge by stream index.
-func Replay(stream []cache.AccessInfo, llcSize, llcWays int, p cache.Policy, opt Options) (*Result, error) {
-	llc, err := cache.NewSetAssoc(llcSize, llcWays, p)
-	if err != nil {
-		return nil, err
-	}
-	maxDegree := 128
-	res := &Result{
-		Policy:            p.Name(),
-		DegreeResidencies: make([]uint64, maxDegree+1),
-		DegreeHits:        make([]uint64, maxDegree+1),
-		FillShared:        make([]bool, len(stream)),
-	}
-	active := make(map[uint64]*Residency, llcSize/64)
-	blockSeen := make(map[uint64]bool, 1<<16) // block → ever shared
-	hadPred := opt.Hooks.PredictShared != nil
+// Block census states, kept in a flat per-BlockID array instead of the
+// map[block]bool the tracker previously hashed into.
+const (
+	blockUnseen  = uint8(0)
+	blockPrivate = uint8(1)
+	blockShared  = uint8(2)
+)
 
-	closeRes := func(r *Residency, evictIndex int64) {
-		r.EvictIndex = evictIndex
-		shared := r.Shared()
-		if shared {
-			// FillShared and the block census stay complete even for
-			// warmup residencies: the oracle and block-population view
-			// are stream properties, not sampled statistics.
-			res.FillShared[r.FillIndex] = true
-			blockSeen[r.Block] = true
-		} else if _, ok := blockSeen[r.Block]; !ok {
-			blockSeen[r.Block] = false
+// replayState is the residency tracker behind Replay and each shard of
+// ReplayParallel. All per-block structures are flat slices indexed by the
+// dense BlockID or by the cache's (set, way) geometry; in the sharded
+// replay the slices are shared between shards, whose index ranges are
+// disjoint by construction (a block, and therefore its set and its ID,
+// belongs to exactly one shard).
+type replayState struct {
+	res *Result
+
+	// lines shadows the cache's line array (sets*ways, row-major by
+	// set): lines[set*ways+way] is the open residency of the block
+	// currently cached there.
+	lines []Residency
+	// active maps BlockID → 1 + its line index while the block is
+	// resident; 0 means not resident.
+	active []uint32
+	// blockState is the block census: blockUnseen, blockPrivate (seen,
+	// never shared) or blockShared (shared in ≥1 residency).
+	blockState []uint8
+
+	warmup  int64
+	hooks   Hooks
+	hadPred bool
+	keep    bool
+}
+
+// closeRes finalizes a residency at evictIndex (-1 = alive at stream end)
+// and folds it into the counters.
+func (st *replayState) closeRes(r *Residency, evictIndex int64) {
+	res := st.res
+	r.EvictIndex = evictIndex
+	shared := r.Shared()
+	if shared {
+		// FillShared and the block census stay complete even for
+		// warmup residencies: the oracle and block-population view
+		// are stream properties, not sampled statistics.
+		res.FillShared[r.FillIndex] = true
+		st.blockState[r.id] = blockShared
+	} else if st.blockState[r.id] == blockUnseen {
+		st.blockState[r.id] = blockPrivate
+	}
+	counted := evictIndex < 0 || evictIndex >= st.warmup
+	if !counted {
+		if st.hooks.OnResidencyEnd != nil {
+			st.hooks.OnResidencyEnd(*r)
 		}
-		counted := evictIndex < 0 || evictIndex >= int64(opt.Warmup)
-		if !counted {
-			if opt.Hooks.OnResidencyEnd != nil {
-				opt.Hooks.OnResidencyEnd(*r)
-			}
-			return
-		}
-		res.Residencies++
-		deg := r.Degree()
-		res.DegreeResidencies[deg]++
-		res.DegreeHits[deg] += r.Hits
-		if shared {
-			res.SharedResidencies++
-			res.SharedHits += r.Hits
-			if r.written {
-				res.RWSharedResidencies++
-				res.RWSharedHits += r.Hits
-			} else {
-				res.ROSharedResidencies++
-				res.ROSharedHits += r.Hits
-			}
+		return
+	}
+	res.Residencies++
+	deg := r.Degree()
+	res.DegreeResidencies[deg]++
+	res.DegreeHits[deg] += r.Hits
+	if shared {
+		res.SharedResidencies++
+		res.SharedHits += r.Hits
+		if r.written {
+			res.RWSharedResidencies++
+			res.RWSharedHits += r.Hits
 		} else {
-			res.PrivateHits += r.Hits
+			res.ROSharedResidencies++
+			res.ROSharedHits += r.Hits
 		}
-		if hadPred {
-			switch {
-			case r.Predicted && shared:
-				res.Pred.TP++
-			case r.Predicted && !shared:
-				res.Pred.FP++
-			case !r.Predicted && shared:
-				res.Pred.FN++
-			default:
-				res.Pred.TN++
-			}
-		}
-		if opt.Hooks.OnResidencyEnd != nil {
-			opt.Hooks.OnResidencyEnd(*r)
-		}
-		if opt.KeepResidencies {
-			res.ResidencyLog = append(res.ResidencyLog, *r)
+	} else {
+		res.PrivateHits += r.Hits
+	}
+	if st.hadPred {
+		switch {
+		case r.Predicted && shared:
+			res.Pred.TP++
+		case r.Predicted && !shared:
+			res.Pred.FP++
+		case !r.Predicted && shared:
+			res.Pred.FN++
+		default:
+			res.Pred.TN++
 		}
 	}
+	if st.hooks.OnResidencyEnd != nil {
+		st.hooks.OnResidencyEnd(*r)
+	}
+	if st.keep {
+		res.ResidencyLog = append(res.ResidencyLog, *r)
+	}
+}
 
-	for i := range stream {
+// run replays accesses through llc. With order == nil the whole stream is
+// replayed in place (validating the Index invariant); otherwise only the
+// stream positions listed in order are replayed, in that order — the
+// shard path, whose caller has already validated indices.
+func (st *replayState) run(llc *cache.SetAssoc, stream []cache.AccessInfo, order []int32) error {
+	ways := llc.Ways()
+	n := len(stream)
+	if order != nil {
+		n = len(order)
+	}
+	for k := 0; k < n; k++ {
+		i := k
+		if order != nil {
+			i = int(order[k])
+		}
 		a := stream[i]
-		if a.Index != int64(i) {
-			return nil, fmt.Errorf("sharing: stream index %d at position %d; use cache.FilterStream ordering", a.Index, i)
+		if order == nil && a.Index != int64(i) {
+			return fmt.Errorf("sharing: stream index %d at position %d; use cache.FilterStream ordering", a.Index, i)
 		}
-		if opt.Hooks.OnAccess != nil {
-			opt.Hooks.OnAccess(a)
+		if st.hooks.OnAccess != nil {
+			st.hooks.OnAccess(a)
 		}
-		counting := i >= opt.Warmup
+		counting := a.Index >= st.warmup
 		if counting {
-			res.Accesses++
+			st.res.Accesses++
 		}
-		if r, ok := active[a.Block]; ok {
+		id := a.BlockID
+		if li := st.active[id]; li != 0 {
+			r := &st.lines[li-1]
 			// Hit path mirrors the cache's own lookup; assert agreement.
 			out := llc.Access(a)
 			if !out.Hit {
-				return nil, fmt.Errorf("sharing: tracker and cache disagree: block %d tracked resident but missed", a.Block)
+				return fmt.Errorf("sharing: tracker and cache disagree: block %d tracked resident but missed", a.Block)
 			}
 			if counting {
-				res.Hits++
+				st.res.Hits++
 				r.Hits++
 			}
 			r.addCore(a.Core)
@@ -315,52 +369,294 @@ func Replay(stream []cache.AccessInfo, llcSize, llcWays int, p cache.Policy, opt
 			}
 			continue
 		}
-		if hadPred {
-			a.PredictedShared = opt.Hooks.PredictShared(a)
+		if st.hadPred {
+			a.PredictedShared = st.hooks.PredictShared(a)
 		}
 		out := llc.Access(a)
 		if out.Hit {
-			return nil, fmt.Errorf("sharing: tracker and cache disagree: block %d untracked but hit", a.Block)
+			return fmt.Errorf("sharing: tracker and cache disagree: block %d untracked but hit", a.Block)
 		}
 		if counting {
-			res.Misses++
+			st.res.Misses++
 		}
+		li := out.Set*ways + out.Way
 		if out.Evicted {
-			victim, ok := active[out.Victim]
-			if !ok {
-				return nil, fmt.Errorf("sharing: evicted block %d has no tracked residency", out.Victim)
+			victim := &st.lines[li]
+			if victim.Block != out.Victim || st.active[victim.id] != uint32(li+1) {
+				return fmt.Errorf("sharing: evicted block %d has no tracked residency", out.Victim)
 			}
-			closeRes(victim, int64(i))
-			delete(active, out.Victim)
+			st.active[victim.id] = 0
+			st.closeRes(victim, a.Index)
 		}
-		nr := &Residency{
+		st.lines[li] = Residency{
 			Block:      a.Block,
-			FillIndex:  int64(i),
+			FillIndex:  a.Index,
 			FillCore:   a.Core,
 			FillPC:     a.PC,
+			id:         id,
 			written:    a.Write,
 			Predicted:  a.PredictedShared,
 			EvictIndex: -1,
 		}
-		nr.addCore(a.Core)
-		active[a.Block] = nr
+		st.lines[li].addCore(a.Core)
+		st.active[id] = uint32(li + 1)
 	}
-	// Close residencies still alive at stream end, in fill order so hook
-	// invocation and the residency log stay deterministic (map iteration
-	// order is not).
-	alive := make([]*Residency, 0, len(active))
-	for _, r := range active {
-		alive = append(alive, r)
+	return nil
+}
+
+// closeAlive closes residencies still alive at stream end, in fill order
+// so hook invocation and the residency log stay deterministic. It scans
+// only the caller's own set range (sets ≡ shard mod shards; the
+// sequential replay passes shards=1 to scan everything): in the sharded
+// replay other shards may still be replaying, so reading any state
+// outside the range would race. A line holds an open residency iff its
+// EvictIndex is -1 — closed residencies are immediately overwritten by
+// the fill that evicted them, and never-filled lines hold the zero value.
+func (st *replayState) closeAlive(sets, ways, shards, shard int) {
+	alive := make([]*Residency, 0, 64)
+	for set := shard; set < sets; set += shards {
+		base := set * ways
+		for w := 0; w < ways; w++ {
+			if r := &st.lines[base+w]; r.EvictIndex == -1 {
+				alive = append(alive, r)
+			}
+		}
 	}
 	sort.Slice(alive, func(i, j int) bool { return alive[i].FillIndex < alive[j].FillIndex })
 	for _, r := range alive {
-		closeRes(r, -1)
+		st.closeRes(r, -1)
 	}
-	for _, shared := range blockSeen {
+}
+
+// census folds the block-population view of blockState into res.
+func census(res *Result, blockState []uint8) {
+	for _, s := range blockState {
+		if s == blockUnseen {
+			continue
+		}
 		res.DistinctBlocks++
-		if shared {
+		if s == blockShared {
 			res.DistinctSharedBlocks++
 		}
 	}
+}
+
+// maxDegree bounds the degree histograms (the paper's machine models top
+// out at far fewer cores; 128 matches the Residency core mask width).
+const maxDegree = 128
+
+func newResult(policy string, streamLen int) *Result {
+	return &Result{
+		Policy:            policy,
+		DegreeResidencies: make([]uint64, maxDegree+1),
+		DegreeHits:        make([]uint64, maxDegree+1),
+		FillShared:        make([]bool, streamLen),
+	}
+}
+
+// Replay runs stream through a fresh cache of llcSize bytes and llcWays
+// associativity under policy p, tracking residencies.
+//
+// The stream must have contiguous Index values starting at 0 (as produced
+// by cache.FilterStream); Replay validates this because the oracle keys
+// its knowledge by stream index. Streams whose BlockIDs were never
+// assigned (hand-built, or filtered without annotation) are copied and
+// assigned on the fly; streams from the standard pipeline replay with no
+// extra pass.
+func Replay(stream []cache.AccessInfo, llcSize, llcWays int, p cache.Policy, opt Options) (*Result, error) {
+	llc, err := cache.NewSetAssoc(llcSize, llcWays, p)
+	if err != nil {
+		return nil, err
+	}
+	stream, numBlocks := cache.EnsureBlockIDs(stream)
+	res := newResult(p.Name(), len(stream))
+	st := &replayState{
+		res:        res,
+		lines:      make([]Residency, llc.Sets()*llc.Ways()),
+		active:     make([]uint32, numBlocks),
+		blockState: make([]uint8, numBlocks),
+		warmup:     int64(opt.Warmup),
+		hooks:      opt.Hooks,
+		hadPred:    opt.Hooks.PredictShared != nil,
+		keep:       opt.KeepResidencies,
+	}
+	if err := st.run(llc, stream, nil); err != nil {
+		return nil, err
+	}
+	st.closeAlive(llc.Sets(), llc.Ways(), 1, 0)
+	census(res, st.blockState)
 	return res, nil
+}
+
+// autoShards picks the automatic shard count for ReplayParallel: one
+// worker per available CPU (capped), and none at all for streams too
+// short to amortize the partitioning pass.
+func autoShards(streamLen int) int {
+	if streamLen < 1<<15 {
+		return 1
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// floorPow2 rounds n down to a power of two (n must be ≥ 1).
+func floorPow2(n int) int {
+	for n&(n-1) != 0 {
+		n &= n - 1
+	}
+	return n
+}
+
+// ReplayParallel is Replay with intra-workload parallelism: when the
+// policy built by newPolicy declares itself per-set independent (see
+// cache.PerSetIndependent) and no hooks are installed, the stream is
+// partitioned by LLC set index into 2^k shards (set bits are block bits,
+// so shard s owns exactly the blocks with block & (shards-1) == s), each
+// shard is replayed concurrently against its own cache and policy
+// instance, and the per-shard results are merged deterministically. The
+// merged Result is bit-identical to the sequential Replay: per-set
+// policies see the same per-set access sequences either way, counters are
+// order-independent sums, and the residency log is re-sorted into the
+// sequential closure order (evictions by evicting index, then
+// stream-end survivors by fill index — an access closes at most one
+// residency, so the order is total).
+//
+// Policies with cross-set state (set dueling, shared RNG draws, global
+// prediction tables) and replays with hooks fall back to the sequential
+// path, as do single-shard configurations.
+func ReplayParallel(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() cache.Policy, opt Options) (*Result, error) {
+	sets, err := cache.Geometry(llcSize, llcWays)
+	if err != nil {
+		return nil, err
+	}
+	p := newPolicy()
+	shards := opt.Shards
+	if shards == 0 {
+		shards = autoShards(len(stream))
+	}
+	if shards > sets {
+		shards = sets
+	}
+	if shards > 1 {
+		shards = floorPow2(shards)
+	}
+	if shards <= 1 || opt.Hooks.any() || !cache.PerSetIndependent(p) {
+		return Replay(stream, llcSize, llcWays, p, opt)
+	}
+
+	stream, numBlocks := cache.EnsureBlockIDs(stream)
+	mask := uint64(shards - 1)
+
+	// Counting-sort the stream positions by shard so each worker walks a
+	// contiguous index list in stream order.
+	counts := make([]int32, shards)
+	for i := range stream {
+		if stream[i].Index != int64(i) {
+			return nil, fmt.Errorf("sharing: stream index %d at position %d; use cache.FilterStream ordering", stream[i].Index, i)
+		}
+		counts[stream[i].Block&mask]++
+	}
+	offs := make([]int32, shards+1)
+	for s := 0; s < shards; s++ {
+		offs[s+1] = offs[s] + counts[s]
+	}
+	order := make([]int32, len(stream))
+	pos := make([]int32, shards)
+	copy(pos, offs[:shards])
+	for i := range stream {
+		s := stream[i].Block & mask
+		order[pos[s]] = int32(i)
+		pos[s]++
+	}
+
+	// Shared flat state: every index range is owned by exactly one shard
+	// (lines by set, active/blockState by block, FillShared by fill
+	// position), so concurrent writes never collide.
+	lines := make([]Residency, sets*llcWays)
+	active := make([]uint32, numBlocks)
+	blockState := make([]uint8, numBlocks)
+	fillShared := make([]bool, len(stream))
+
+	results := make([]*Result, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			pol := p
+			if s != 0 {
+				pol = newPolicy()
+			}
+			llc, err := cache.NewSetAssoc(llcSize, llcWays, pol)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			res := newResult(pol.Name(), 0)
+			res.FillShared = fillShared
+			st := &replayState{
+				res:        res,
+				lines:      lines,
+				active:     active,
+				blockState: blockState,
+				warmup:     int64(opt.Warmup),
+				keep:       opt.KeepResidencies,
+			}
+			if err := st.run(llc, stream, order[offs[s]:offs[s+1]]); err != nil {
+				errs[s] = err
+				return
+			}
+			st.closeAlive(sets, llcWays, shards, s)
+			results[s] = res
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < shards; s++ {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+	}
+
+	merged := newResult(p.Name(), 0)
+	merged.FillShared = fillShared
+	for _, r := range results {
+		merged.Accesses += r.Accesses
+		merged.Hits += r.Hits
+		merged.Misses += r.Misses
+		merged.SharedHits += r.SharedHits
+		merged.PrivateHits += r.PrivateHits
+		merged.Residencies += r.Residencies
+		merged.SharedResidencies += r.SharedResidencies
+		merged.ROSharedResidencies += r.ROSharedResidencies
+		merged.RWSharedResidencies += r.RWSharedResidencies
+		merged.ROSharedHits += r.ROSharedHits
+		merged.RWSharedHits += r.RWSharedHits
+		for d := range r.DegreeResidencies {
+			merged.DegreeResidencies[d] += r.DegreeResidencies[d]
+			merged.DegreeHits[d] += r.DegreeHits[d]
+		}
+		merged.ResidencyLog = append(merged.ResidencyLog, r.ResidencyLog...)
+	}
+	census(merged, blockState)
+	if opt.KeepResidencies {
+		// Restore the sequential closure order: an access evicts at most
+		// one residency and fills at most one line, so evicting indices
+		// (and fill indices among survivors) are unique.
+		log := merged.ResidencyLog
+		sort.Slice(log, func(i, j int) bool {
+			ei, ej := log[i].EvictIndex, log[j].EvictIndex
+			if (ei >= 0) != (ej >= 0) {
+				return ei >= 0
+			}
+			if ei >= 0 {
+				return ei < ej
+			}
+			return log[i].FillIndex < log[j].FillIndex
+		})
+	}
+	return merged, nil
 }

@@ -44,10 +44,12 @@ type CharRow struct {
 // Characterize runs the F1/F2/F3 characterization under LRU at the given
 // LLC geometry, one row per workload.
 func (s *Suite) Characterize(llcSize, llcWays int) ([]CharRow, error) {
+	shards := s.shardsFor(len(s.Streams))
 	rows := make([]CharRow, len(s.Streams))
 	err := parallel(len(s.Streams), func(i int) error {
 		st := s.Streams[i]
-		res, err := sharing.Replay(st.Accesses, llcSize, llcWays, policy.NewLRUPolicy(), sharing.Options{})
+		res, err := sharing.ReplayParallel(st.Accesses, llcSize, llcWays,
+			func() cache.Policy { return policy.NewLRUPolicy() }, sharing.Options{Shards: shards})
 		if err != nil {
 			return fmt.Errorf("characterize %s: %w", st.Model.Name, err)
 		}
@@ -255,11 +257,12 @@ func (s *Suite) ComparePolicies(llcSize, llcWays int, names []string) ([]PolicyR
 			cells = append(cells, cell{w, p})
 		}
 	}
+	shards := s.shardsFor(len(cells))
 	rows := make([]PolicyRow, len(cells))
 	err := parallel(len(cells), func(i int) error {
 		c := cells[i]
 		st := s.Streams[c.w]
-		res, err := sharing.Replay(st.Accesses, llcSize, llcWays, factories[c.p](), sharing.Options{})
+		res, err := sharing.ReplayParallel(st.Accesses, llcSize, llcWays, factories[c.p], sharing.Options{Shards: shards})
 		if err != nil {
 			return fmt.Errorf("comparing %s under %s: %w", st.Model.Name, names[c.p], err)
 		}
@@ -330,12 +333,14 @@ func (s *Suite) OracleStudy(llcSize, llcWays int, names []string, opts core.Opti
 			cells = append(cells, cell{w, p})
 		}
 	}
+	shards := s.shardsFor(len(cells))
 	rows := make([]OracleRow, len(cells))
 	err := parallel(len(cells), func(i int) error {
 		c := cells[i]
 		st := s.Streams[c.w]
 		f := factories[c.p]
-		res, err := oracle.RunOpts(st.Accesses, llcSize, llcWays, func() cache.Policy { return f() }, opts)
+		res, err := oracle.RunHorizonShards(st.Accesses, llcSize, llcWays,
+			func() cache.Policy { return f() }, opts, oracle.HorizonFactor, shards)
 		if err != nil {
 			return fmt.Errorf("oracle study %s/%s: %w", st.Model.Name, names[c.p], err)
 		}
@@ -371,12 +376,12 @@ func BuildMixStream(models []workloads.Model, machine cache.Config, seed uint64)
 	if err != nil {
 		return nil, fmt.Errorf("sim: filtering %s: %w", workloads.MixName(models), err)
 	}
-	cache.AnnotateNextUse(stream)
+	numBlocks := cache.AnnotateNextUse(stream)
 	refs, l1, l2, _ := h.Stats()
 	pseudo := models[0]
 	pseudo.Name = workloads.MixName(models)
 	pseudo.Threads = len(models)
-	return &Stream{Model: pseudo, Accesses: stream, TraceLen: refs, L1Hits: l1, L2Hits: l2}, nil
+	return &Stream{Model: pseudo, Accesses: stream, NumBlocks: numBlocks, TraceLen: refs, L1Hits: l1, L2Hits: l2}, nil
 }
 
 // MultiprogrammedOracle runs the M1 experiment: the sharing oracle over
@@ -384,14 +389,15 @@ func BuildMixStream(models []workloads.Model, machine cache.Config, seed uint64)
 // oracle should have (near) nothing to offer — the paper's motivating
 // contrast with multi-threaded workloads.
 func MultiprogrammedOracle(mixes [][]workloads.Model, machine cache.Config, seed uint64, llcSize, llcWays int, opts core.Options) ([]OracleRow, error) {
+	shards := leftoverShards(len(mixes))
 	rows := make([]OracleRow, len(mixes))
 	err := parallel(len(mixes), func(i int) error {
 		st, err := BuildMixStream(mixes[i], machine, seed)
 		if err != nil {
 			return err
 		}
-		res, err := oracle.RunOpts(st.Accesses, llcSize, llcWays,
-			func() cache.Policy { return policy.NewLRUPolicy() }, opts)
+		res, err := oracle.RunHorizonShards(st.Accesses, llcSize, llcWays,
+			func() cache.Policy { return policy.NewLRUPolicy() }, opts, oracle.HorizonFactor, shards)
 		if err != nil {
 			return fmt.Errorf("multiprogrammed oracle %s: %w", st.Model.Name, err)
 		}
@@ -433,12 +439,13 @@ func (s *Suite) OracleHorizonSweep(llcSize, llcWays int, factors []int, opts cor
 			cells = append(cells, cell{w, f})
 		}
 	}
+	shards := s.shardsFor(len(cells))
 	rows := make([]HorizonRow, len(cells))
 	err := parallel(len(cells), func(i int) error {
 		c := cells[i]
 		st := s.Streams[c.w]
-		res, err := oracle.RunHorizon(st.Accesses, llcSize, llcWays,
-			func() cache.Policy { return policy.NewLRUPolicy() }, opts, factors[c.f])
+		res, err := oracle.RunHorizonShards(st.Accesses, llcSize, llcWays,
+			func() cache.Policy { return policy.NewLRUPolicy() }, opts, factors[c.f], shards)
 		if err != nil {
 			return fmt.Errorf("horizon sweep %s/%d: %w", st.Model.Name, factors[c.f], err)
 		}
@@ -567,10 +574,11 @@ func (s *Suite) PredictorDriven(llcSize, llcWays int, cfg predictor.Config, name
 	// The oracle ceiling depends only on the workload, so compute it once
 	// per stream rather than once per (workload, predictor) cell.
 	oracles := make([]*oracle.Result, len(s.Streams))
+	shards := s.shardsFor(len(s.Streams))
 	err := parallel(len(s.Streams), func(w int) error {
 		st := s.Streams[w]
-		orc, err := oracle.RunOpts(st.Accesses, llcSize, llcWays,
-			func() cache.Policy { return policy.NewLRUPolicy() }, opts)
+		orc, err := oracle.RunHorizonShards(st.Accesses, llcSize, llcWays,
+			func() cache.Policy { return policy.NewLRUPolicy() }, opts, oracle.HorizonFactor, shards)
 		if err != nil {
 			return fmt.Errorf("predictor driven %s (oracle leg): %w", st.Model.Name, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sharellc/internal/cache"
 	"sharellc/internal/workloads"
@@ -26,6 +27,12 @@ type Config struct {
 	Scale float64
 	// Models is the workload list; empty means the full suite.
 	Models []workloads.Model
+	// Shards requests set-sharded parallel replay inside each experiment
+	// cell (sharing.Options.Shards): 0 lets each experiment budget the
+	// leftover CPUs across its fan-out, 1 forces sequential replays, and
+	// n > 1 asks for up to n shards per replay. Results are identical at
+	// every setting; only wall-clock time changes.
+	Shards int
 }
 
 // DefaultConfig is the paper's setup: the 4 MB-LLC machine (8 MB via
@@ -37,11 +44,12 @@ func DefaultConfig() Config {
 // Stream is one workload's LLC reference stream with hierarchy stats.
 type Stream struct {
 	Model    workloads.Model
-	Accesses []cache.AccessInfo // NextUse-annotated
+	Accesses []cache.AccessInfo // NextUse-annotated, dense BlockIDs assigned
 
-	TraceLen uint64 // raw references generated
-	L1Hits   uint64
-	L2Hits   uint64
+	NumBlocks int    // distinct blocks in Accesses (BlockID range)
+	TraceLen  uint64 // raw references generated
+	L1Hits    uint64
+	L2Hits    uint64
 }
 
 // LLCAPKI returns LLC accesses per thousand raw references — a coarse
@@ -67,9 +75,9 @@ func BuildStream(m workloads.Model, machine cache.Config, seed uint64) (*Stream,
 	if err != nil {
 		return nil, fmt.Errorf("sim: filtering %s: %w", m.Name, err)
 	}
-	cache.AnnotateNextUse(stream)
+	numBlocks := cache.AnnotateNextUse(stream)
 	refs, l1, l2, _ := h.Stats()
-	return &Stream{Model: m, Accesses: stream, TraceLen: refs, L1Hits: l1, L2Hits: l2}, nil
+	return &Stream{Model: m, Accesses: stream, NumBlocks: numBlocks, TraceLen: refs, L1Hits: l1, L2Hits: l2}, nil
 }
 
 // Suite holds the prepared streams for one Config.
@@ -122,10 +130,44 @@ func (s *Suite) Stream(name string) (*Stream, error) {
 	return nil, fmt.Errorf("sim: no prepared stream for workload %q", name)
 }
 
+// shardsFor picks the per-replay shard request (sharing.Options.Shards)
+// for an experiment fanning out over cells concurrent replay cells: the
+// Config's explicit Shards when set, otherwise the CPUs left over once
+// every cell has a worker — so the outer fan-out and the inner set
+// sharding never oversubscribe the machine between them.
+func (s *Suite) shardsFor(cells int) int {
+	if s.Config.Shards != 0 {
+		return s.Config.Shards
+	}
+	return leftoverShards(cells)
+}
+
+// leftoverShards divides GOMAXPROCS across cells concurrent cells,
+// returning the per-cell shard budget (at least 1 = sequential).
+func leftoverShards(cells int) int {
+	if cells < 1 {
+		cells = 1
+	}
+	n := runtime.GOMAXPROCS(0) / cells
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // parallel runs f(0..n-1) across up to GOMAXPROCS workers and returns the
 // first error.
 func parallel(n int, f func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
+	return parallelCap(n, runtime.GOMAXPROCS(0), f)
+}
+
+// parallelCap is parallel with an explicit worker cap, for callers that
+// must split the CPU budget with nested parallelism (a sharded replay
+// inside an experiment fan-out) and would otherwise oversubscribe. Work
+// items are claimed from a lock-free atomic counter; the first error
+// stops further claims and is returned after all workers drain.
+func parallelCap(n, cap int, f func(i int) error) error {
+	workers := cap
 	if workers > n {
 		workers = n
 	}
@@ -139,37 +181,29 @@ func parallel(n int, f func(i int) error) error {
 	}
 	var (
 		wg    sync.WaitGroup
+		next  atomic.Int64
+		stop  atomic.Bool
 		mu    sync.Mutex
 		first error
-		next  int
 	)
-	claim := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if first != nil || next >= n {
-			return -1
-		}
-		i := next
-		next++
-		return i
-	}
 	fail := func(err error) {
+		stop.Store(true)
 		mu.Lock()
-		defer mu.Unlock()
 		if first == nil {
 			first = err
 		}
+		mu.Unlock()
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := claim()
-				if i < 0 {
+			for !stop.Load() {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
 					return
 				}
-				if err := f(i); err != nil {
+				if err := f(int(i)); err != nil {
 					fail(err)
 					return
 				}

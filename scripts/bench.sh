@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# bench.sh — run the pinned benchmark set and record steady-state numbers
+# as JSON for cross-PR regression tracking.
+#
+# Pinned set: the F1/F2 characterization benchmarks (the replay engine's
+# hot path, full-size suite) and F9 (the stream-side analyzers). Three
+# counted runs each; the first F1 iteration also pays the one-time suite
+# build (sync.Once), so compare steady-state lines (runs 2-3).
+#
+#   scripts/bench.sh [output.json]    # default output: BENCH_PR1.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+BENCHES='^(BenchmarkF1SharedHitFraction4MB|BenchmarkF2SharedHitFraction8MB|BenchmarkF9SharingPhases)$'
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -bench "$BENCHES" -benchmem -count=3 -run '^$' -timeout 60m . | tee "$RAW" >&2
+
+awk -v out_start=1 '
+  BEGIN { print "{"; print "  \"benchmarks\": [" ; first = 1 }
+  /^goos:/   { goos = $2 }
+  /^goarch:/ { goarch = $2 }
+  /^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bop = ""; aop = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")     ns  = $(i-1)
+      if ($i == "B/op")      bop = $(i-1)
+      if ($i == "allocs/op") aop = $(i-1)
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bop, aop
+  }
+  END {
+    print ""
+    print "  ],"
+    printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\",\n", goos, goarch, cpu
+    print "  \"seed_baseline\": {"
+    print "    \"note\": \"steady-state BenchmarkF1SharedHitFraction4MB at the v0 seed commit (a6b47ae), same machine class\","
+    print "    \"ns_per_op\": 3600000000, \"bytes_per_op\": 688000000, \"allocs_per_op\": 5764000"
+    print "  }"
+    print "}"
+  }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
