@@ -1,6 +1,6 @@
 // Command sharesim runs the repository's experiments and prints each as an
-// ASCII table (or CSV). One experiment id per invocation, mirroring the
-// experiment index in DESIGN.md:
+// ASCII table (or CSV, markdown, JSON). One experiment id per invocation,
+// mirroring the experiment index in DESIGN.md:
 //
 //	config  T1: the simulated machine configuration
 //	suite   T2: the workload suite and its sharing parameters
@@ -22,12 +22,16 @@
 //	m1      oracle on multiprogrammed mixes (motivating contrast: ~0 gain)
 //	all     every experiment above, in order
 //
+// The catalogue itself lives in sim.Experiments — the same index the
+// sharesimd daemon serves — so the CLI and the daemon can never drift.
+//
 // Examples:
 //
 //	sharesim -exp f1
 //	sharesim -exp f5 -policies lru,srrip,drrip,ship
 //	sharesim -exp f4 -llc 8 -scale 0.25 -workloads canneal,fft
 //	sharesim -exp f7 -csv > f7.csv
+//	sharesim -exp f1 -json   # one JSON object per table (NDJSON)
 package main
 
 import (
@@ -41,12 +45,8 @@ import (
 
 	"sharellc/internal/cache"
 	"sharellc/internal/core"
-	"sharellc/internal/policy"
-	"sharellc/internal/predictor"
 	"sharellc/internal/report"
 	"sharellc/internal/sim"
-	"sharellc/internal/stats"
-	"sharellc/internal/workloads"
 )
 
 func main() {
@@ -68,13 +68,14 @@ type options struct {
 	workloads []string
 	csv       bool
 	md        bool
+	jsonOut   bool
 	quiet     bool
 }
 
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("sharesim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "f1", "experiment id (config, suite, f1-f8, a1-a3, all)")
+		exp      = fs.String("exp", "f1", "experiment id (config, suite, f1-f9, c1, c2, m1, a1-a5, all)")
 		llcMB    = fs.Float64("llc", 4, "LLC size in MB")
 		ways     = fs.Int("ways", 16, "LLC associativity")
 		scale    = fs.Float64("scale", 1, "workload scale factor (1 = full size)")
@@ -86,6 +87,7 @@ func run(w io.Writer, args []string) error {
 		wls      = fs.String("workloads", "", "comma-separated workload subset (default: all)")
 		csvOut   = fs.Bool("csv", false, "emit CSV instead of text tables")
 		mdOut    = fs.Bool("md", false, "emit markdown instead of text tables")
+		jsonOut  = fs.Bool("json", false, "emit one compact JSON object per table (the daemon's encoding)")
 		quiet    = fs.Bool("quiet", false, "suppress progress messages")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -94,7 +96,7 @@ func run(w io.Writer, args []string) error {
 	o := options{
 		exp:   strings.ToLower(*exp),
 		llcMB: *llcMB, ways: *ways, scale: *scale, seed: *seed,
-		csv: *csvOut, md: *mdOut, quiet: *quiet,
+		csv: *csvOut, md: *mdOut, jsonOut: *jsonOut, quiet: *quiet,
 	}
 	switch *strength {
 	case "full":
@@ -102,7 +104,7 @@ func run(w io.Writer, args []string) error {
 	case "insert-only":
 		o.prot.Strength = core.InsertOnly
 	default:
-		return fmt.Errorf("unknown strength %q", *strength)
+		return fmt.Errorf("unknown strength %q (want full or insert-only)", *strength)
 	}
 	o.prot.SkipBudget = *skip
 	o.prot.ClearOnFulfil = *clear
@@ -115,54 +117,57 @@ func run(w io.Writer, args []string) error {
 	return dispatch(w, o)
 }
 
-// validExperiments lists every experiment id dispatch accepts.
-var validExperiments = map[string]bool{
-	"config": true, "suite": true, "all": true,
-	"f1": true, "f2": true, "f3": true, "f4": true, "f5": true,
-	"f7": true, "f8": true, "f9": true,
-	"c1": true, "c2": true, "m1": true,
-	"a1": true, "a2": true, "a3": true, "a4": true, "a5": true,
-}
-
 func dispatch(w io.Writer, o options) error {
-	if !validExperiments[o.exp] {
-		return fmt.Errorf("unknown experiment %q (want config, suite, f1-f9, c1, c2, m1, a1-a5 or all)", o.exp)
-	}
-	// Table-only experiments need no simulation.
-	switch o.exp {
-	case "config":
-		return emit(w, o, configTable())
-	case "suite":
-		return emit(w, o, suiteTable())
-	}
-
-	models, err := selectModels(o.workloads)
-	if err != nil {
-		return err
-	}
-	cfg := sim.Config{
-		Machine: cache.DefaultConfig(),
-		Seed:    o.seed,
-		Scale:   o.scale,
-		Models:  models,
-	}
-	start := time.Now()
-	suite, err := sim.NewSuite(cfg)
-	if err != nil {
-		return err
-	}
-	if !o.quiet {
-		fmt.Fprintf(os.Stderr, "sharesim: prepared %d workload streams in %v\n",
-			len(suite.Streams), time.Since(start).Round(time.Millisecond))
-	}
-	size := int(o.llcMB * float64(cache.MB))
-
-	exps := []string{o.exp}
+	// Resolve the experiment list up front so an unknown id (or workload
+	// name, below) exits non-zero with a usage message before any
+	// simulation work starts.
+	var exps []sim.Experiment
 	if o.exp == "all" {
-		exps = []string{"config", "suite", "f1", "f2", "f3", "f4", "f5", "f7", "f8", "f9", "c1", "c2", "m1", "a1", "a2", "a3", "a4", "a5"}
+		exps = sim.Experiments()
+	} else {
+		e, err := sim.ExperimentByID(o.exp)
+		if err != nil {
+			return fmt.Errorf("%w; see sharesim -h", err)
+		}
+		exps = []sim.Experiment{e}
 	}
+	models, err := sim.ModelsByName(o.workloads)
+	if err != nil {
+		return fmt.Errorf("%w; see sharesim -h", err)
+	}
+
+	expOpts := sim.ExpOptions{
+		LLCSize:  int(o.llcMB * float64(cache.MB)),
+		LLCWays:  o.ways,
+		Policies: o.policies,
+		Prot:     o.prot,
+	}
+
+	var suite *sim.Suite
+	needSuite := false
 	for _, e := range exps {
-		tables, err := runExperiment(suite, e, size, o)
+		needSuite = needSuite || e.NeedsSuite
+	}
+	if needSuite {
+		cfg := sim.Config{
+			Machine: cache.DefaultConfig(),
+			Seed:    o.seed,
+			Scale:   o.scale,
+			Models:  models,
+		}
+		start := time.Now()
+		suite, err = sim.NewSuite(cfg)
+		if err != nil {
+			return err
+		}
+		if !o.quiet {
+			fmt.Fprintf(os.Stderr, "sharesim: prepared %d workload streams in %v\n",
+				len(suite.Streams), time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	for _, e := range exps {
+		tables, err := e.Run(suite, expOpts)
 		if err != nil {
 			return err
 		}
@@ -175,191 +180,10 @@ func dispatch(w io.Writer, o options) error {
 	return nil
 }
 
-func runExperiment(suite *sim.Suite, exp string, size int, o options) ([]*report.Table, error) {
-	switch exp {
-	case "config":
-		return []*report.Table{configTable()}, nil
-	case "suite":
-		return []*report.Table{suiteTable()}, nil
-	case "f1":
-		rows, err := suite.Characterize(size, o.ways)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{sim.CharTable(fmt.Sprintf("F1: shared vs private LLC hits (%s LLC, LRU)", mb(size)), rows)}, nil
-	case "f2":
-		rows, err := suite.Characterize(2*size, o.ways)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{sim.CharTable(fmt.Sprintf("F2: shared vs private LLC hits (%s LLC, LRU)", mb(2*size)), rows)}, nil
-	case "f3":
-		rows, err := suite.Characterize(size, o.ways)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{sim.DegreeTable(fmt.Sprintf("F3: sharing-degree distribution (%s LLC, LRU)", mb(size)), rows)}, nil
-	case "f4":
-		rows, err := suite.ComparePolicies(size, o.ways, nil)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{sim.PolicyTable(fmt.Sprintf("F4: policy comparison (%s LLC)", mb(size)), rows)}, nil
-	case "f5":
-		var out []*report.Table
-		for _, s := range []int{size, 2 * size} {
-			rows, err := suite.OracleStudy(s, o.ways, o.policies, o.prot)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, sim.OracleTable(fmt.Sprintf("F5/F6: oracle study (%s LLC, %s)", mb(s), o.prot.Strength), rows))
-		}
-		return out, nil
-	case "f7":
-		rows, err := suite.PredictorAccuracy(size, o.ways, predictor.DefaultConfig(), nil)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{sim.PredictorTable(fmt.Sprintf("F7: fill-time sharing predictor accuracy (%s LLC, LRU)", mb(size)), rows)}, nil
-	case "f8":
-		rows, err := suite.PredictorDriven(size, o.ways, predictor.DefaultConfig(), nil, o.prot)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{sim.DrivenTable(fmt.Sprintf("F8: predictor-driven replacement (%s LLC, LRU base)", mb(size)), rows)}, nil
-	case "c1":
-		rows, err := suite.CoherenceCharacterize()
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{sim.CoherenceTable("C1: coherence-protocol traffic (MESI directory)", rows)}, nil
-	case "c2":
-		rows, err := suite.ReuseDistances(size)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{sim.ReuseTable("C2: reuse-distance distribution by sharing class", rows)}, nil
-	case "f9":
-		rows, err := suite.SharingPhases(0)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{sim.PhaseTable("F9: sharing-phase stability (16 windows)", rows)}, nil
-	case "a1":
-		var out []*report.Table
-		for _, st := range []core.Strength{core.InsertOnly, core.Full} {
-			opts := o.prot
-			opts.Strength = st
-			rows, err := suite.OracleStudy(size, o.ways, []string{"lru", "srrip"}, opts)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, sim.OracleTable(fmt.Sprintf("A1: oracle with %s protection (%s LLC)", st, mb(size)), rows))
-		}
-		return out, nil
-	case "a2":
-		var out []*report.Table
-		for _, bits := range []int{8, 11, 14, 17} {
-			cfg := predictor.DefaultConfig()
-			cfg.TableBits = bits
-			rows, err := suite.PredictorAccuracy(size, o.ways, cfg, []string{"addr", "pc"})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, sim.PredictorTable(fmt.Sprintf("A2: predictor accuracy with 2^%d-entry tables (%s LLC)", bits, mb(size)), rows))
-		}
-		return out, nil
-	case "m1":
-		// Three canonical 8-program multiprogrammed mixes drawn from the
-		// suite, scaled like the rest of the run.
-		mixNames := [][]string{
-			{"swaptions", "blackscholes", "freqmine", "water", "equake", "lu", "bodytrack", "facesim"},
-			{"canneal", "swaptions", "ocean", "blackscholes", "fft", "water", "dedup", "freqmine"},
-			{"swaptions", "swaptions", "swaptions", "swaptions", "swaptions", "swaptions", "swaptions", "swaptions"},
-		}
-		var mixes [][]workloads.Model
-		for _, names := range mixNames {
-			ms, err := selectModels(names)
-			if err != nil {
-				return nil, err
-			}
-			for i := range ms {
-				if o.scale != 1 {
-					ms[i] = ms[i].Scaled(o.scale)
-				}
-			}
-			mixes = append(mixes, ms)
-		}
-		rows, err := sim.MultiprogrammedOracle(mixes, cache.DefaultConfig(), o.seed, size, o.ways, o.prot)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{sim.OracleTable(fmt.Sprintf("M1: oracle on multiprogrammed mixes (%s LLC)", mb(size)), rows)}, nil
-	case "a5":
-		// Seed robustness: rebuild a suite subset under several seeds and
-		// compare the F5 means. Uses its own suites; the prepared one is
-		// ignored.
-		t := report.NewTable(fmt.Sprintf("A5: oracle gain across seeds (%s LLC, LRU)", mb(size)),
-			"seed", "mean-reduction", "workloads")
-		sub, err := selectModels([]string{"canneal", "dedup", "barnes", "ocean", "streamcluster", "swaptions"})
-		if err != nil {
-			return nil, err
-		}
-		for _, seed := range []uint64{1, 2, 3} {
-			cfg := suite.Config
-			cfg.Seed = seed
-			cfg.Models = sub
-			s2, err := sim.NewSuite(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rows, err := s2.OracleStudy(size, o.ways, []string{"lru"}, o.prot)
-			if err != nil {
-				return nil, err
-			}
-			t.MustRow(fmt.Sprintf("%d", seed), stats.Pct(sim.MeanReduction(rows, "lru")),
-				fmt.Sprintf("%d", len(rows)))
-		}
-		t.Note = "same workload subset regenerated per seed; the headroom is a property of the sharing structure, not of one trace"
-		return []*report.Table{t}, nil
-	case "a4":
-		rows, err := suite.OracleHorizonSweep(size, o.ways, nil, o.prot)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{sim.HorizonTable(fmt.Sprintf("A4: oracle gain vs sharing horizon (%s LLC, LRU)", mb(size)), rows)}, nil
-	case "a3":
-		var out []*report.Table
-		for _, w := range []int{8, 16, 32} {
-			rows, err := suite.OracleStudy(size, w, []string{"lru"}, o.prot)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, sim.OracleTable(fmt.Sprintf("A3: oracle gain at %d-way associativity (%s LLC)", w, mb(size)), rows))
-		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("unknown experiment %q", exp)
-	}
-}
-
-func selectModels(names []string) ([]workloads.Model, error) {
-	if len(names) == 0 {
-		return nil, nil // sim uses the full suite
-	}
-	var out []workloads.Model
-	for _, n := range names {
-		m, err := workloads.ByName(strings.TrimSpace(n))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, m)
-	}
-	return out, nil
-}
-
 func emit(w io.Writer, o options, t *report.Table) error {
 	switch {
+	case o.jsonOut:
+		return t.RenderJSON(w)
 	case o.csv:
 		return t.RenderCSV(w)
 	case o.md:
@@ -367,34 +191,4 @@ func emit(w io.Writer, o options, t *report.Table) error {
 	default:
 		return t.Render(w)
 	}
-}
-
-func mb(size int) string {
-	return fmt.Sprintf("%gMB", float64(size)/float64(cache.MB))
-}
-
-func configTable() *report.Table {
-	t := report.NewTable("T1: simulated machine configuration", "component", "value")
-	c := cache.DefaultConfig()
-	t.MustRow("cores", fmt.Sprintf("%d", c.Cores))
-	t.MustRow("L1D (per core)", fmt.Sprintf("%dKB, %d-way, 64B blocks, LRU", c.L1Size/cache.KB, c.L1Ways))
-	t.MustRow("L2 (per core)", fmt.Sprintf("%dKB, %d-way, 64B blocks, LRU", c.L2Size/cache.KB, c.L2Ways))
-	t.MustRow("LLC (shared)", fmt.Sprintf("4MB and 8MB, %d-way, 64B blocks, policy under study", c.LLCWays))
-	t.MustRow("policies", strings.Join(policy.Names(1), ", "))
-	t.Note = "functional (miss-count) model; inclusive LLC available via cache.System"
-	return t
-}
-
-func suiteTable() *report.Table {
-	t := report.NewTable("T2: workload suite",
-		"workload", "suite", "threads", "refs", "footprint", "sh-RO%", "sh-RW%", "wr%", "description")
-	for _, m := range workloads.Suite() {
-		t.MustRow(
-			m.Name, m.Suite, fmt.Sprintf("%d", m.Threads),
-			fmt.Sprintf("%.1fM", float64(m.TotalAccesses())/1e6),
-			fmt.Sprintf("%.1fMB", float64(m.FootprintBlocks())*64/float64(cache.MB)),
-			stats.Pct(m.FracSharedRO), stats.Pct(m.FracSharedRW), stats.Pct(m.WriteFrac),
-			m.Description)
-	}
-	return t
 }

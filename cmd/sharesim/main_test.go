@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -114,6 +115,68 @@ func TestErrors(t *testing.T) {
 		if err := run(&b, args); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := runOK(t, fast("-exp", "f1", "-json")...)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("f1 -json emitted %d lines, want 1", len(lines))
+	}
+	var tbl struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &tbl); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if !strings.Contains(tbl.Title, "F1") {
+		t.Errorf("title = %q, want F1 table", tbl.Title)
+	}
+	if len(tbl.Rows) != 2 || tbl.Rows[0][0] != "canneal" {
+		t.Errorf("rows malformed: %v", tbl.Rows)
+	}
+	if len(tbl.Headers) == 0 || tbl.Headers[0] != "workload" {
+		t.Errorf("headers malformed: %v", tbl.Headers)
+	}
+}
+
+// TestUnknownExperimentUsage is the regression test for the silent-exit
+// bug class: an unknown -exp id must fail with a message that names the
+// valid ids, never run zero experiments successfully.
+func TestUnknownExperimentUsage(t *testing.T) {
+	var b strings.Builder
+	err := run(&b, []string{"-exp", "f6"})
+	if err == nil {
+		t.Fatal("run with unknown experiment succeeded")
+	}
+	for _, want := range []string{"unknown experiment", "f6", "valid ids", "f1", "a5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if b.Len() != 0 {
+		t.Errorf("unknown experiment still produced output: %q", b.String())
+	}
+}
+
+// TestUnknownWorkloadUsage: an unknown -workloads name must fail up
+// front, before any simulation, and list the valid names.
+func TestUnknownWorkloadUsage(t *testing.T) {
+	var b strings.Builder
+	err := run(&b, []string{"-exp", "f1", "-workloads", "canneal,doom"})
+	if err == nil {
+		t.Fatal("run with unknown workload succeeded")
+	}
+	for _, want := range []string{"doom", "valid workloads", "canneal", "swaptions"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if b.Len() != 0 {
+		t.Errorf("unknown workload still produced output: %q", b.String())
 	}
 }
 

@@ -1,0 +1,76 @@
+// Command sharesimd serves the repository's experiments over HTTP. It
+// wraps the same experiment index as cmd/sharesim in a job manager with
+// a bounded worker pool, a deduplicating result cache, per-job
+// cancellation and Prometheus metrics. See docs/API.md for the
+// endpoints and curl examples.
+//
+// Usage:
+//
+//	sharesimd -addr :8070 -workers 2 -cache 64 -queue 16 -drain 30s
+//
+// SIGINT/SIGTERM begin a graceful shutdown: the listener stops accepting
+// connections, queued jobs are cancelled, and running jobs get up to
+// -drain to finish before their contexts are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sharellc/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("sharesimd: ")
+
+	var (
+		addr    = flag.String("addr", ":8070", "listen address")
+		workers = flag.Int("workers", 2, "concurrent experiment runs")
+		cacheN  = flag.Int("cache", 64, "completed results retained in the LRU cache")
+		queueN  = flag.Int("queue", 16, "queued jobs accepted before 503")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		CacheSize:  *cacheN,
+		QueueDepth: *queueN,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers, cache %d, queue %d)", *addr, *workers, *cacheN, *queueN)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutdown signal received; draining for up to %v", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Manager().Shutdown(drainCtx); err != nil {
+		log.Printf("job drain: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Print("bye")
+}

@@ -14,6 +14,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 
 	"sharellc/internal/cache"
@@ -102,25 +103,27 @@ func RunOpts(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() c
 // lookahead window in multiples of the LLC capacity); the A4 ablation
 // sweeps it.
 func RunHorizon(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() cache.Policy, opts core.Options, horizonFactor int) (*Result, error) {
-	return RunHorizonShards(stream, llcSize, llcWays, newPolicy, opts, horizonFactor, 0)
+	return RunHorizonShards(context.Background(), stream, llcSize, llcWays, newPolicy, opts, horizonFactor, 0)
 }
 
-// RunHorizonShards is RunHorizon with an explicit shard request for the
-// bare pass-1 replay (see sharing.Options.Shards; 0 = automatic). Pass 2
-// installs a fill-time hook and therefore always replays sequentially, so
-// study results are identical at every shard count.
-func RunHorizonShards(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() cache.Policy, opts core.Options, horizonFactor, shards int) (*Result, error) {
+// RunHorizonShards is RunHorizon with a cancellation context and an
+// explicit shard request for the bare pass-1 replay (see
+// sharing.Options.Shards; 0 = automatic). Pass 2 installs a fill-time
+// hook and therefore always replays sequentially, so study results are
+// identical at every shard count. Cancelling ctx aborts either pass at
+// its next poll and returns the context error.
+func RunHorizonShards(ctx context.Context, stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() cache.Policy, opts core.Options, horizonFactor, shards int) (*Result, error) {
 	if horizonFactor < 1 {
 		return nil, fmt.Errorf("oracle: horizon factor %d < 1", horizonFactor)
 	}
-	base, err := sharing.ReplayParallel(stream, llcSize, llcWays, newPolicy, sharing.Options{Shards: shards})
+	base, err := sharing.ReplayParallel(stream, llcSize, llcWays, newPolicy, sharing.Options{Shards: shards, Ctx: ctx})
 	if err != nil {
 		return nil, fmt.Errorf("oracle: pass 1: %w", err)
 	}
 	prot := core.NewProtectorOpts(newPolicy(), opts)
 	horizon := int64(horizonFactor) * int64(llcSize/trace.BlockSize)
 	hints := SharedHints(stream, horizon)
-	opt := sharing.Options{Hooks: sharing.Hooks{
+	opt := sharing.Options{Ctx: ctx, Hooks: sharing.Hooks{
 		PredictShared: func(a cache.AccessInfo) bool { return hints[a.Index] },
 	}}
 	orc, err := sharing.Replay(stream, llcSize, llcWays, prot, opt)

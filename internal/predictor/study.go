@@ -1,6 +1,7 @@
 package predictor
 
 import (
+	"context"
 	"fmt"
 
 	"sharellc/internal/cache"
@@ -13,7 +14,13 @@ import (
 // while the predictor predicts at each fill and trains at each residency
 // end. The returned result's Pred field holds the confusion matrix.
 func Evaluate(stream []cache.AccessInfo, llcSize, llcWays int, p cache.Policy, pred Predictor) (*sharing.Result, error) {
-	opt := sharing.Options{Hooks: hooksFor(pred)}
+	return EvaluateCtx(context.Background(), stream, llcSize, llcWays, p, pred)
+}
+
+// EvaluateCtx is Evaluate with a cancellation context threaded into the
+// replay; cancelling ctx aborts a long F7 cell at its next poll.
+func EvaluateCtx(ctx context.Context, stream []cache.AccessInfo, llcSize, llcWays int, p cache.Policy, pred Predictor) (*sharing.Result, error) {
+	opt := sharing.Options{Hooks: hooksFor(pred), Ctx: ctx}
 	res, err := sharing.Replay(stream, llcSize, llcWays, p, opt)
 	if err != nil {
 		return nil, fmt.Errorf("predictor: evaluating %s: %w", pred.Name(), err)
@@ -32,8 +39,14 @@ func Drive(stream []cache.AccessInfo, llcSize, llcWays int, base cache.Policy, p
 
 // DriveOpts is Drive with explicit protection options.
 func DriveOpts(stream []cache.AccessInfo, llcSize, llcWays int, base cache.Policy, pred Predictor, opts core.Options) (*sharing.Result, core.Stats, error) {
+	return DriveOptsCtx(context.Background(), stream, llcSize, llcWays, base, pred, opts)
+}
+
+// DriveOptsCtx is DriveOpts with a cancellation context threaded into
+// the replay.
+func DriveOptsCtx(ctx context.Context, stream []cache.AccessInfo, llcSize, llcWays int, base cache.Policy, pred Predictor, opts core.Options) (*sharing.Result, core.Stats, error) {
 	prot := core.NewProtectorOpts(base, opts)
-	opt := sharing.Options{Hooks: hooksFor(pred)}
+	opt := sharing.Options{Hooks: hooksFor(pred), Ctx: ctx}
 	res, err := sharing.Replay(stream, llcSize, llcWays, prot, opt)
 	if err != nil {
 		return nil, core.Stats{}, fmt.Errorf("predictor: driving %s: %w", pred.Name(), err)

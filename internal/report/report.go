@@ -5,6 +5,7 @@ package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -119,6 +120,45 @@ func (t *Table) RenderMarkdown(w io.Writer) error {
 	}
 	b.WriteByte('\n')
 	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// tableJSON is the canonical machine-readable encoding of a Table. The
+// CLI's -json flag and the sharesimd daemon both emit it, and clients
+// compare the two byte-for-byte, so every field stays lower-case and
+// headers/rows are never null.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON encodes the table in the canonical machine-readable shape.
+// Cells are already formatted strings, so non-finite floats ("NaN",
+// "+Inf" from fmt) pass through as ordinary JSON strings — JSON itself
+// has no NaN literal to trip over.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	j := tableJSON{Title: t.Title, Note: t.Note, Headers: t.Headers, Rows: t.Rows}
+	if j.Headers == nil {
+		j.Headers = []string{}
+	}
+	if j.Rows == nil {
+		j.Rows = [][]string{}
+	}
+	return json.Marshal(j)
+}
+
+// RenderJSON writes the table as one compact JSON object followed by a
+// newline, so multi-table runs emit newline-delimited JSON (one object
+// per table).
+func (t *Table) RenderJSON(w io.Writer) error {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
 	return err
 }
 

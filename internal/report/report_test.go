@@ -1,6 +1,8 @@
 package report
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -69,6 +71,74 @@ func TestRenderMarkdown(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	tb := NewTable("demo", "workload", "rate")
+	tb.Note = "a caption"
+	tb.MustRow(`he said "hi", twice`, F(math.NaN()))
+	var b strings.Builder
+	if err := tb.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") || strings.Count(out, "\n") != 1 {
+		t.Errorf("RenderJSON not one newline-terminated line: %q", out)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Note    string     `json:"note"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, out)
+	}
+	if got.Title != "demo" || got.Note != "a caption" {
+		t.Errorf("title/note wrong: %+v", got)
+	}
+	if len(got.Rows) != 1 || got.Rows[0][0] != `he said "hi", twice` {
+		t.Errorf("quoted cell did not round-trip: %+v", got.Rows)
+	}
+	// NaN cells survive as the string fmt produced — JSON has no NaN
+	// literal, so the table layer must never emit a bare one.
+	if got.Rows[0][1] != "NaN" {
+		t.Errorf("NaN cell = %q, want \"NaN\"", got.Rows[0][1])
+	}
+}
+
+func TestRenderJSONEmptyTable(t *testing.T) {
+	tb := NewTable("empty", "h")
+	var b strings.Builder
+	if err := tb.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "null") {
+		t.Errorf("empty table encodes null somewhere: %s", out)
+	}
+	if !strings.Contains(out, `"rows":[]`) {
+		t.Errorf("empty rows not encoded as []: %s", out)
+	}
+	if strings.Contains(out, `"note"`) {
+		t.Errorf("empty note should be omitted: %s", out)
+	}
+}
+
+func TestMarshalJSONMatchesRenderJSON(t *testing.T) {
+	tb := NewTable("x", "a")
+	tb.MustRow("1")
+	raw, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tb.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw)+"\n" != b.String() {
+		t.Errorf("Marshal and RenderJSON disagree:\n%s\n%s", raw, b.String())
 	}
 }
 

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metrics is a small hand-rolled Prometheus registry: the daemon's
+// counters, gauges and one latency histogram family, rendered in the
+// text exposition format. Keeping it dependency-free matters — the
+// container bakes in only the standard library — and the handful of
+// series here does not justify a client library.
+type metrics struct {
+	mu sync.Mutex
+
+	jobsTotal   map[string]uint64 // by terminal state: done, failed, cancelled
+	cacheHits   uint64
+	cacheMisses uint64
+	coalesced   uint64
+	rejected    uint64
+	queueDepth  int
+	inflight    int
+
+	durations map[string]*histogram // per experiment id, seconds
+}
+
+// durationBuckets are the histogram upper bounds in seconds, spanning
+// cache-warm microsecond replies through full-scale multi-minute runs.
+var durationBuckets = []float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}
+
+type histogram struct {
+	counts []uint64 // one per bucket, cumulative rendering happens at write time
+	sum    float64
+	total  uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		jobsTotal: map[string]uint64{},
+		durations: map[string]*histogram{},
+	}
+}
+
+func (m *metrics) jobFinished(state, exp string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsTotal[state]++
+	if state != string(stateDone) {
+		return
+	}
+	h := m.durations[exp]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(durationBuckets))}
+		m.durations[exp] = h
+	}
+	for i, ub := range durationBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += seconds
+	h.total++
+}
+
+func (m *metrics) add(field *uint64)  { m.mu.Lock(); *field++; m.mu.Unlock() }
+func (m *metrics) gauge(field *int, d int) {
+	m.mu.Lock()
+	*field += d
+	m.mu.Unlock()
+}
+
+// snapshotRatio returns the cache hit ratio (hits / lookups), 0 when idle.
+func (m *metrics) snapshotRatio() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cacheHits+m.cacheMisses == 0 {
+		return 0
+	}
+	return float64(m.cacheHits) / float64(m.cacheHits+m.cacheMisses)
+}
+
+// write renders the registry in Prometheus text format, deterministically
+// ordered so scrapes (and tests) are stable.
+func (m *metrics) write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	b.WriteString("# HELP sharesimd_jobs_total Jobs finished, by terminal state.\n")
+	b.WriteString("# TYPE sharesimd_jobs_total counter\n")
+	for _, st := range []string{"done", "failed", "cancelled"} {
+		fmt.Fprintf(&b, "sharesimd_jobs_total{state=%q} %d\n", st, m.jobsTotal[st])
+	}
+
+	b.WriteString("# HELP sharesimd_cache_hits_total Result-cache hits.\n")
+	b.WriteString("# TYPE sharesimd_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "sharesimd_cache_hits_total %d\n", m.cacheHits)
+	b.WriteString("# HELP sharesimd_cache_misses_total Result-cache misses (jobs actually run).\n")
+	b.WriteString("# TYPE sharesimd_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "sharesimd_cache_misses_total %d\n", m.cacheMisses)
+	b.WriteString("# HELP sharesimd_jobs_coalesced_total Submissions coalesced onto an identical in-flight job.\n")
+	b.WriteString("# TYPE sharesimd_jobs_coalesced_total counter\n")
+	fmt.Fprintf(&b, "sharesimd_jobs_coalesced_total %d\n", m.coalesced)
+	b.WriteString("# HELP sharesimd_jobs_rejected_total Submissions rejected (queue full or draining).\n")
+	b.WriteString("# TYPE sharesimd_jobs_rejected_total counter\n")
+	fmt.Fprintf(&b, "sharesimd_jobs_rejected_total %d\n", m.rejected)
+
+	b.WriteString("# HELP sharesimd_queue_depth Jobs queued and not yet running.\n")
+	b.WriteString("# TYPE sharesimd_queue_depth gauge\n")
+	fmt.Fprintf(&b, "sharesimd_queue_depth %d\n", m.queueDepth)
+	b.WriteString("# HELP sharesimd_jobs_inflight Jobs currently running.\n")
+	b.WriteString("# TYPE sharesimd_jobs_inflight gauge\n")
+	fmt.Fprintf(&b, "sharesimd_jobs_inflight %d\n", m.inflight)
+
+	b.WriteString("# HELP sharesimd_job_duration_seconds Wall-clock latency of completed runs, per experiment.\n")
+	b.WriteString("# TYPE sharesimd_job_duration_seconds histogram\n")
+	exps := make([]string, 0, len(m.durations))
+	for e := range m.durations {
+		exps = append(exps, e)
+	}
+	sort.Strings(exps)
+	for _, e := range exps {
+		h := m.durations[e]
+		var cum uint64
+		for i, ub := range durationBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "sharesimd_job_duration_seconds_bucket{exp=%q,le=%q} %d\n", e, fmt.Sprintf("%g", ub), cum)
+		}
+		fmt.Fprintf(&b, "sharesimd_job_duration_seconds_bucket{exp=%q,le=\"+Inf\"} %d\n", e, h.total)
+		fmt.Fprintf(&b, "sharesimd_job_duration_seconds_sum{exp=%q} %g\n", e, h.sum)
+		fmt.Fprintf(&b, "sharesimd_job_duration_seconds_count{exp=%q} %d\n", e, h.total)
+	}
+	io.WriteString(w, b.String())
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"context"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/core"
+	"sharellc/internal/report"
+	"sharellc/internal/sim"
+)
+
+// defaultRunner builds the production Runner: it resolves the request
+// against the shared experiment index (the same catalogue cmd/sharesim
+// dispatches through, which is what makes daemon output bit-identical to
+// `sharesim -json`) and budgets per-replay set shards so that
+// workers × shards never oversubscribes GOMAXPROCS.
+func defaultRunner(workers int) Runner {
+	shards := sim.ShardBudget(workers)
+	return func(ctx context.Context, req Request, progress func(done, total int, label string)) ([]*report.Table, error) {
+		exp, err := sim.ExperimentByID(req.Exp)
+		if err != nil {
+			return nil, err
+		}
+		opts := sim.ExpOptions{
+			LLCSize:  int(req.LLCMB * float64(cache.MB)),
+			LLCWays:  req.Ways,
+			Policies: req.Policies,
+			Prot:     core.Options{Strength: core.Full},
+		}
+		if req.Strength == "insert-only" {
+			opts.Prot.Strength = core.InsertOnly
+		}
+
+		var suite *sim.Suite
+		if exp.NeedsSuite {
+			models, err := sim.ModelsByName(req.Workloads)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.Config{
+				Machine: cache.DefaultConfig(),
+				Seed:    req.Seed,
+				Scale:   req.Scale,
+				Models:  models,
+				Shards:  shards,
+			}
+			suite, err = sim.NewSuiteContext(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			suite = suite.WithProgress(progress)
+		}
+		return exp.Run(suite, opts)
+	}
+}

@@ -1,0 +1,71 @@
+package sharing
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/policy"
+)
+
+// cancelStream builds a stream long enough to straddle several cancel
+// polls (cancelStride accesses apart).
+func cancelStream(n int) []cache.AccessInfo {
+	stream := make([]cache.AccessInfo, n)
+	for i := range stream {
+		blk := uint64(i % 4096)
+		stream[i] = cache.AccessInfo{Block: blk, Core: uint8(i % 4), Index: int64(i)}
+	}
+	cache.AnnotateNextUse(stream)
+	return stream
+}
+
+func TestReplayPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stream := cancelStream(1 << 16)
+	_, err := Replay(stream, 64*cache.KB, 8, policy.NewLRUPolicy(), Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential replay with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	_, err = ReplayParallel(stream, 64*cache.KB, 8, func() cache.Policy { return policy.NewLRUPolicy() },
+		Options{Ctx: ctx, Shards: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel replay with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestReplayCancelledMidStream(t *testing.T) {
+	// A context that expires while the replay is in flight: the replay
+	// must notice at the next poll rather than running to completion.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	stream := cancelStream(1 << 22) // tens of ms of replay work
+	start := time.Now()
+	_, err := Replay(stream, 64*cache.KB, 8, policy.NewLRUPolicy(), Options{Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v; the poll stride is not being honoured", elapsed)
+	}
+}
+
+func TestReplayNilCtxUnchanged(t *testing.T) {
+	// Cancellation support must not perturb results: a replay with a
+	// live context matches one with no context at all.
+	stream := cancelStream(1 << 16)
+	base, err := Replay(stream, 64*cache.KB, 8, policy.NewLRUPolicy(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(stream, 64*cache.KB, 8, policy.NewLRUPolicy(), Options{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Hits != got.Hits || base.Misses != got.Misses || base.SharedHits != got.SharedHits {
+		t.Errorf("results diverge with ctx: %+v vs %+v", base, got)
+	}
+}

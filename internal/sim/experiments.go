@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"sharellc/internal/cache"
 	"sharellc/internal/coherence"
@@ -46,13 +49,15 @@ type CharRow struct {
 func (s *Suite) Characterize(llcSize, llcWays int) ([]CharRow, error) {
 	shards := s.shardsFor(len(s.Streams))
 	rows := make([]CharRow, len(s.Streams))
-	err := parallel(len(s.Streams), func(i int) error {
+	var done atomic.Int64
+	err := s.par(len(s.Streams), func(i int) error {
 		st := s.Streams[i]
 		res, err := sharing.ReplayParallel(st.Accesses, llcSize, llcWays,
-			func() cache.Policy { return policy.NewLRUPolicy() }, sharing.Options{Shards: shards})
+			func() cache.Policy { return policy.NewLRUPolicy() }, sharing.Options{Shards: shards, Ctx: s.context()})
 		if err != nil {
 			return fmt.Errorf("characterize %s: %w", st.Model.Name, err)
 		}
+		defer s.step(&done, len(s.Streams), st.Model.Name)
 		rows[i] = CharRow{
 			Workload:             st.Model.Name,
 			Suite:                st.Model.Suite,
@@ -94,7 +99,9 @@ type CoherenceRow struct {
 // independent of cache geometry.
 func (s *Suite) CoherenceCharacterize() ([]CoherenceRow, error) {
 	rows := make([]CoherenceRow, len(s.Streams))
-	err := parallel(len(s.Streams), func(i int) error {
+	var done atomic.Int64
+	ctx := s.context()
+	err := s.par(len(s.Streams), func(i int) error {
 		st := s.Streams[i]
 		r, err := st.Model.Generate(s.Config.Seed)
 		if err != nil {
@@ -108,6 +115,11 @@ func (s *Suite) CoherenceCharacterize() ([]CoherenceRow, error) {
 				break
 			}
 			refs++
+			if refs&(1<<16-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if a.Write {
 				dir.Store(a.Core, a.Addr.BlockID())
 			} else {
@@ -132,6 +144,7 @@ func (s *Suite) CoherenceCharacterize() ([]CoherenceRow, error) {
 			C2CTransfersPKR:  pkr(cs.C2CTransfers),
 			UpgradesPKR:      pkr(cs.UpgradeMisses),
 		}
+		s.step(&done, len(s.Streams), st.Model.Name)
 		return nil
 	})
 	return rows, err
@@ -156,7 +169,8 @@ type ReuseRow struct {
 // with the oracle's residency-scale sharing hint at the given LLC size.
 func (s *Suite) ReuseDistances(llcSize int) ([]ReuseRow, error) {
 	rows := make([]ReuseRow, len(s.Streams))
-	err := parallel(len(s.Streams), func(i int) error {
+	var done atomic.Int64
+	err := s.par(len(s.Streams), func(i int) error {
 		st := s.Streams[i]
 		horizon := int64(oracle.HorizonFactor) * int64(llcSize/64)
 		hints := oracle.SharedHints(st.Accesses, horizon)
@@ -164,6 +178,7 @@ func (s *Suite) ReuseDistances(llcSize int) ([]ReuseRow, error) {
 		if err != nil {
 			return fmt.Errorf("reuse distances %s: %w", st.Model.Name, err)
 		}
+		defer s.step(&done, len(s.Streams), st.Model.Name)
 		row := ReuseRow{
 			Workload:     st.Model.Name,
 			SharedTotal:  prof.Shared.Total,
@@ -201,12 +216,14 @@ func (s *Suite) SharingPhases(windows int) ([]PhaseRow, error) {
 		windows = phase.DefaultWindows
 	}
 	rows := make([]PhaseRow, len(s.Streams))
-	err := parallel(len(s.Streams), func(i int) error {
+	var done atomic.Int64
+	err := s.par(len(s.Streams), func(i int) error {
 		st := s.Streams[i]
 		res, err := phase.Analyze(st.Accesses, windows)
 		if err != nil {
 			return fmt.Errorf("phase analysis %s: %w", st.Model.Name, err)
 		}
+		defer s.step(&done, len(s.Streams), st.Model.Name)
 		rows[i] = PhaseRow{
 			Workload:     st.Model.Name,
 			Windows:      res.Windows,
@@ -259,13 +276,16 @@ func (s *Suite) ComparePolicies(llcSize, llcWays int, names []string) ([]PolicyR
 	}
 	shards := s.shardsFor(len(cells))
 	rows := make([]PolicyRow, len(cells))
-	err := parallel(len(cells), func(i int) error {
+	var done atomic.Int64
+	err := s.par(len(cells), func(i int) error {
 		c := cells[i]
 		st := s.Streams[c.w]
-		res, err := sharing.ReplayParallel(st.Accesses, llcSize, llcWays, factories[c.p], sharing.Options{Shards: shards})
+		res, err := sharing.ReplayParallel(st.Accesses, llcSize, llcWays, factories[c.p],
+			sharing.Options{Shards: shards, Ctx: s.context()})
 		if err != nil {
 			return fmt.Errorf("comparing %s under %s: %w", st.Model.Name, names[c.p], err)
 		}
+		defer s.step(&done, len(cells), st.Model.Name)
 		rows[i] = PolicyRow{
 			Workload:      st.Model.Name,
 			Policy:        res.Policy,
@@ -335,15 +355,17 @@ func (s *Suite) OracleStudy(llcSize, llcWays int, names []string, opts core.Opti
 	}
 	shards := s.shardsFor(len(cells))
 	rows := make([]OracleRow, len(cells))
-	err := parallel(len(cells), func(i int) error {
+	var done atomic.Int64
+	err := s.par(len(cells), func(i int) error {
 		c := cells[i]
 		st := s.Streams[c.w]
 		f := factories[c.p]
-		res, err := oracle.RunHorizonShards(st.Accesses, llcSize, llcWays,
+		res, err := oracle.RunHorizonShards(s.context(), st.Accesses, llcSize, llcWays,
 			func() cache.Policy { return f() }, opts, oracle.HorizonFactor, shards)
 		if err != nil {
 			return fmt.Errorf("oracle study %s/%s: %w", st.Model.Name, names[c.p], err)
 		}
+		defer s.step(&done, len(cells), st.Model.Name)
 		rows[i] = OracleRow{
 			Workload:            st.Model.Name,
 			Policy:              names[c.p],
@@ -389,14 +411,20 @@ func BuildMixStream(models []workloads.Model, machine cache.Config, seed uint64)
 // oracle should have (near) nothing to offer — the paper's motivating
 // contrast with multi-threaded workloads.
 func MultiprogrammedOracle(mixes [][]workloads.Model, machine cache.Config, seed uint64, llcSize, llcWays int, opts core.Options) ([]OracleRow, error) {
+	return MultiprogrammedOracleCtx(context.Background(), mixes, machine, seed, llcSize, llcWays, opts)
+}
+
+// MultiprogrammedOracleCtx is MultiprogrammedOracle with a cancellation
+// context covering both mix preparation and the oracle replays.
+func MultiprogrammedOracleCtx(ctx context.Context, mixes [][]workloads.Model, machine cache.Config, seed uint64, llcSize, llcWays int, opts core.Options) ([]OracleRow, error) {
 	shards := leftoverShards(len(mixes))
 	rows := make([]OracleRow, len(mixes))
-	err := parallel(len(mixes), func(i int) error {
+	err := parallelCapCtx(ctx, len(mixes), runtime.GOMAXPROCS(0), func(i int) error {
 		st, err := BuildMixStream(mixes[i], machine, seed)
 		if err != nil {
 			return err
 		}
-		res, err := oracle.RunHorizonShards(st.Accesses, llcSize, llcWays,
+		res, err := oracle.RunHorizonShards(ctx, st.Accesses, llcSize, llcWays,
 			func() cache.Policy { return policy.NewLRUPolicy() }, opts, oracle.HorizonFactor, shards)
 		if err != nil {
 			return fmt.Errorf("multiprogrammed oracle %s: %w", st.Model.Name, err)
@@ -441,15 +469,17 @@ func (s *Suite) OracleHorizonSweep(llcSize, llcWays int, factors []int, opts cor
 	}
 	shards := s.shardsFor(len(cells))
 	rows := make([]HorizonRow, len(cells))
-	err := parallel(len(cells), func(i int) error {
+	var done atomic.Int64
+	err := s.par(len(cells), func(i int) error {
 		c := cells[i]
 		st := s.Streams[c.w]
-		res, err := oracle.RunHorizonShards(st.Accesses, llcSize, llcWays,
+		res, err := oracle.RunHorizonShards(s.context(), st.Accesses, llcSize, llcWays,
 			func() cache.Policy { return policy.NewLRUPolicy() }, opts, factors[c.f], shards)
 		if err != nil {
 			return fmt.Errorf("horizon sweep %s/%d: %w", st.Model.Name, factors[c.f], err)
 		}
 		rows[i] = HorizonRow{Workload: st.Model.Name, Factor: factors[c.f], Reduction: res.MissReduction()}
+		s.step(&done, len(cells), st.Model.Name)
 		return nil
 	})
 	return rows, err
@@ -524,17 +554,19 @@ func (s *Suite) PredictorAccuracy(llcSize, llcWays int, cfg predictor.Config, na
 		}
 	}
 	rows := make([]PredictorRow, len(cells))
-	err := parallel(len(cells), func(i int) error {
+	var done atomic.Int64
+	err := s.par(len(cells), func(i int) error {
 		c := cells[i]
 		st := s.Streams[c.w]
 		pred, err := newPredictor(c.p, cfg)
 		if err != nil {
 			return err
 		}
-		res, err := predictor.Evaluate(st.Accesses, llcSize, llcWays, policy.NewLRUPolicy(), pred)
+		res, err := predictor.EvaluateCtx(s.context(), st.Accesses, llcSize, llcWays, policy.NewLRUPolicy(), pred)
 		if err != nil {
 			return fmt.Errorf("predictor accuracy %s/%s: %w", st.Model.Name, c.p, err)
 		}
+		defer s.step(&done, len(cells), st.Model.Name)
 		rows[i] = PredictorRow{
 			Workload:       st.Model.Name,
 			Predictor:      c.p,
@@ -575,9 +607,9 @@ func (s *Suite) PredictorDriven(llcSize, llcWays int, cfg predictor.Config, name
 	// per stream rather than once per (workload, predictor) cell.
 	oracles := make([]*oracle.Result, len(s.Streams))
 	shards := s.shardsFor(len(s.Streams))
-	err := parallel(len(s.Streams), func(w int) error {
+	err := s.par(len(s.Streams), func(w int) error {
 		st := s.Streams[w]
-		orc, err := oracle.RunHorizonShards(st.Accesses, llcSize, llcWays,
+		orc, err := oracle.RunHorizonShards(s.context(), st.Accesses, llcSize, llcWays,
 			func() cache.Policy { return policy.NewLRUPolicy() }, opts, oracle.HorizonFactor, shards)
 		if err != nil {
 			return fmt.Errorf("predictor driven %s (oracle leg): %w", st.Model.Name, err)
@@ -599,7 +631,8 @@ func (s *Suite) PredictorDriven(llcSize, llcWays int, cfg predictor.Config, name
 		}
 	}
 	rows := make([]DrivenRow, len(cells))
-	err = parallel(len(cells), func(i int) error {
+	var done atomic.Int64
+	err = s.par(len(cells), func(i int) error {
 		c := cells[i]
 		st := s.Streams[c.w]
 		orc := oracles[c.w]
@@ -607,10 +640,11 @@ func (s *Suite) PredictorDriven(llcSize, llcWays int, cfg predictor.Config, name
 		if err != nil {
 			return err
 		}
-		res, pstats, err := predictor.DriveOpts(st.Accesses, llcSize, llcWays, policy.NewLRUPolicy(), pred, opts)
+		res, pstats, err := predictor.DriveOptsCtx(s.context(), st.Accesses, llcSize, llcWays, policy.NewLRUPolicy(), pred, opts)
 		if err != nil {
 			return fmt.Errorf("predictor driven %s/%s: %w", st.Model.Name, c.p, err)
 		}
+		defer s.step(&done, len(cells), st.Model.Name)
 		row := DrivenRow{
 			Workload:     st.Model.Name,
 			Predictor:    c.p,

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/core"
+	"sharellc/internal/policy"
+	"sharellc/internal/predictor"
+	"sharellc/internal/report"
+	"sharellc/internal/stats"
+	"sharellc/internal/workloads"
+)
+
+// This file is the experiment index: the single catalogue of every
+// experiment id the repository serves, shared by the sharesim CLI and
+// the sharesimd daemon so the two can never drift apart. Each entry
+// turns a prepared Suite plus per-run knobs into the experiment's
+// report tables.
+
+// ExpOptions carries the per-run knobs shared by every experiment.
+type ExpOptions struct {
+	LLCSize  int // LLC capacity in bytes (f2/f5 derive the doubled size from it)
+	LLCWays  int
+	Policies []string     // f5's base-policy list (nil = the CLI default set)
+	Prot     core.Options // protection options for the oracle/predictor families
+}
+
+// DefaultExpOptions is the paper's setup: 4 MB, 16-way, full protection.
+func DefaultExpOptions() ExpOptions {
+	return ExpOptions{
+		LLCSize: 4 * cache.MB,
+		LLCWays: 16,
+		Prot:    core.Options{Strength: core.Full},
+	}
+}
+
+// Experiment is one entry of the experiment index.
+type Experiment struct {
+	ID    string
+	Title string // short human description for catalogues (-exp listings, /v1/experiments)
+	// NeedsSuite is false for the static description tables (config,
+	// suite), whose Run ignores the *Suite argument entirely.
+	NeedsSuite bool
+	Run        func(s *Suite, o ExpOptions) ([]*report.Table, error)
+}
+
+// Experiments returns the full index in presentation order (the order
+// `-exp all` runs them).
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "config", Title: "T1: the simulated machine configuration", Run: runConfig},
+		{ID: "suite", Title: "T2: the workload suite and its sharing parameters", Run: runSuiteTable},
+		{ID: "f1", Title: "shared vs. private LLC hit volume (default-size LLC)", NeedsSuite: true, Run: runF1},
+		{ID: "f2", Title: "shared vs. private LLC hit volume (doubled LLC)", NeedsSuite: true, Run: runF2},
+		{ID: "f3", Title: "sharing-degree distribution", NeedsSuite: true, Run: runF3},
+		{ID: "f4", Title: "policy comparison vs. LRU and Belady OPT", NeedsSuite: true, Run: runF4},
+		{ID: "f5", Title: "oracle study at both LLC sizes (per-workload rows = F6)", NeedsSuite: true, Run: runF5},
+		{ID: "f7", Title: "fill-time predictor accuracy", NeedsSuite: true, Run: runF7},
+		{ID: "f8", Title: "predictor-driven replacement vs. the oracle ceiling", NeedsSuite: true, Run: runF8},
+		{ID: "f9", Title: "sharing-phase stability (why the predictors fail)", NeedsSuite: true, Run: runF9},
+		{ID: "c1", Title: "coherence-protocol traffic characterization (extension)", NeedsSuite: true, Run: runC1},
+		{ID: "c2", Title: "reuse-distance distributions by sharing class (extension)", NeedsSuite: true, Run: runC2},
+		{ID: "m1", Title: "oracle on multiprogrammed mixes (motivating contrast)", NeedsSuite: true, Run: runM1},
+		{ID: "a1", Title: "ablation: protection strength (insert-only vs. full)", NeedsSuite: true, Run: runA1},
+		{ID: "a2", Title: "ablation: predictor table-size sweep", NeedsSuite: true, Run: runA2},
+		{ID: "a3", Title: "ablation: LLC associativity sweep", NeedsSuite: true, Run: runA3},
+		{ID: "a4", Title: "ablation: oracle sharing-horizon sweep", NeedsSuite: true, Run: runA4},
+		{ID: "a5", Title: "ablation: seed robustness of the oracle gain", NeedsSuite: true, Run: runA5},
+	}
+}
+
+// ExperimentIDs lists the valid ids in index order.
+func ExperimentIDs() []string {
+	idx := Experiments()
+	ids := make([]string, len(idx))
+	for i, e := range idx {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ExperimentByID resolves one id (case-insensitive). The error message
+// enumerates every valid id so CLI and API users get a usable usage hint.
+func ExperimentByID(id string) (Experiment, error) {
+	id = strings.ToLower(id)
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("unknown experiment %q (valid ids: %s)",
+		id, strings.Join(ExperimentIDs(), ", "))
+}
+
+// ModelsByName resolves a workload-name list into suite models; nil/empty
+// means "full suite" (returned as nil, the Config convention). Unknown
+// names fail with the full list of valid names in the message.
+func ModelsByName(names []string) ([]workloads.Model, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	var out []workloads.Model
+	for _, n := range names {
+		m, err := workloads.ByName(strings.TrimSpace(n))
+		if err != nil {
+			var valid []string
+			for _, wm := range workloads.Suite() {
+				valid = append(valid, wm.Name)
+			}
+			sort.Strings(valid)
+			return nil, fmt.Errorf("%w (valid workloads: %s)", err, strings.Join(valid, ", "))
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func mbLabel(size int) string {
+	return fmt.Sprintf("%gMB", float64(size)/float64(cache.MB))
+}
+
+func one(t *report.Table, err error) ([]*report.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+func runConfig(_ *Suite, _ ExpOptions) ([]*report.Table, error) {
+	t := report.NewTable("T1: simulated machine configuration", "component", "value")
+	c := cache.DefaultConfig()
+	t.MustRow("cores", fmt.Sprintf("%d", c.Cores))
+	t.MustRow("L1D (per core)", fmt.Sprintf("%dKB, %d-way, 64B blocks, LRU", c.L1Size/cache.KB, c.L1Ways))
+	t.MustRow("L2 (per core)", fmt.Sprintf("%dKB, %d-way, 64B blocks, LRU", c.L2Size/cache.KB, c.L2Ways))
+	t.MustRow("LLC (shared)", fmt.Sprintf("4MB and 8MB, %d-way, 64B blocks, policy under study", c.LLCWays))
+	t.MustRow("policies", strings.Join(policy.Names(1), ", "))
+	t.Note = "functional (miss-count) model; inclusive LLC available via cache.System"
+	return []*report.Table{t}, nil
+}
+
+func runSuiteTable(_ *Suite, _ ExpOptions) ([]*report.Table, error) {
+	t := report.NewTable("T2: workload suite",
+		"workload", "suite", "threads", "refs", "footprint", "sh-RO%", "sh-RW%", "wr%", "description")
+	for _, m := range workloads.Suite() {
+		t.MustRow(
+			m.Name, m.Suite, fmt.Sprintf("%d", m.Threads),
+			fmt.Sprintf("%.1fM", float64(m.TotalAccesses())/1e6),
+			fmt.Sprintf("%.1fMB", float64(m.FootprintBlocks())*64/float64(cache.MB)),
+			stats.Pct(m.FracSharedRO), stats.Pct(m.FracSharedRW), stats.Pct(m.WriteFrac),
+			m.Description)
+	}
+	return []*report.Table{t}, nil
+}
+
+func runF1(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	rows, err := s.Characterize(o.LLCSize, o.LLCWays)
+	if err != nil {
+		return nil, err
+	}
+	return one(CharTable(fmt.Sprintf("F1: shared vs private LLC hits (%s LLC, LRU)", mbLabel(o.LLCSize)), rows), nil)
+}
+
+func runF2(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	rows, err := s.Characterize(2*o.LLCSize, o.LLCWays)
+	if err != nil {
+		return nil, err
+	}
+	return one(CharTable(fmt.Sprintf("F2: shared vs private LLC hits (%s LLC, LRU)", mbLabel(2*o.LLCSize)), rows), nil)
+}
+
+func runF3(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	rows, err := s.Characterize(o.LLCSize, o.LLCWays)
+	if err != nil {
+		return nil, err
+	}
+	return one(DegreeTable(fmt.Sprintf("F3: sharing-degree distribution (%s LLC, LRU)", mbLabel(o.LLCSize)), rows), nil)
+}
+
+func runF4(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	rows, err := s.ComparePolicies(o.LLCSize, o.LLCWays, nil)
+	if err != nil {
+		return nil, err
+	}
+	return one(PolicyTable(fmt.Sprintf("F4: policy comparison (%s LLC)", mbLabel(o.LLCSize)), rows), nil)
+}
+
+func runF5(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	var out []*report.Table
+	for _, size := range []int{o.LLCSize, 2 * o.LLCSize} {
+		rows, err := s.OracleStudy(size, o.LLCWays, o.Policies, o.Prot)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, OracleTable(fmt.Sprintf("F5/F6: oracle study (%s LLC, %s)", mbLabel(size), o.Prot.Strength), rows))
+	}
+	return out, nil
+}
+
+func runF7(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	rows, err := s.PredictorAccuracy(o.LLCSize, o.LLCWays, predictor.DefaultConfig(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return one(PredictorTable(fmt.Sprintf("F7: fill-time sharing predictor accuracy (%s LLC, LRU)", mbLabel(o.LLCSize)), rows), nil)
+}
+
+func runF8(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	rows, err := s.PredictorDriven(o.LLCSize, o.LLCWays, predictor.DefaultConfig(), nil, o.Prot)
+	if err != nil {
+		return nil, err
+	}
+	return one(DrivenTable(fmt.Sprintf("F8: predictor-driven replacement (%s LLC, LRU base)", mbLabel(o.LLCSize)), rows), nil)
+}
+
+func runF9(s *Suite, _ ExpOptions) ([]*report.Table, error) {
+	rows, err := s.SharingPhases(0)
+	if err != nil {
+		return nil, err
+	}
+	return one(PhaseTable("F9: sharing-phase stability (16 windows)", rows), nil)
+}
+
+func runC1(s *Suite, _ ExpOptions) ([]*report.Table, error) {
+	rows, err := s.CoherenceCharacterize()
+	if err != nil {
+		return nil, err
+	}
+	return one(CoherenceTable("C1: coherence-protocol traffic (MESI directory)", rows), nil)
+}
+
+func runC2(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	rows, err := s.ReuseDistances(o.LLCSize)
+	if err != nil {
+		return nil, err
+	}
+	return one(ReuseTable("C2: reuse-distance distribution by sharing class", rows), nil)
+}
+
+func runM1(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	// Three canonical 8-program multiprogrammed mixes drawn from the
+	// suite, scaled and seeded like the suite itself.
+	mixNames := [][]string{
+		{"swaptions", "blackscholes", "freqmine", "water", "equake", "lu", "bodytrack", "facesim"},
+		{"canneal", "swaptions", "ocean", "blackscholes", "fft", "water", "dedup", "freqmine"},
+		{"swaptions", "swaptions", "swaptions", "swaptions", "swaptions", "swaptions", "swaptions", "swaptions"},
+	}
+	var mixes [][]workloads.Model
+	for _, names := range mixNames {
+		ms, err := ModelsByName(names)
+		if err != nil {
+			return nil, err
+		}
+		for i := range ms {
+			if s.Config.Scale != 1 {
+				ms[i] = ms[i].Scaled(s.Config.Scale)
+			}
+		}
+		mixes = append(mixes, ms)
+	}
+	rows, err := MultiprogrammedOracleCtx(s.context(), mixes, s.Config.Machine, s.Config.Seed, o.LLCSize, o.LLCWays, o.Prot)
+	if err != nil {
+		return nil, err
+	}
+	return one(OracleTable(fmt.Sprintf("M1: oracle on multiprogrammed mixes (%s LLC)", mbLabel(o.LLCSize)), rows), nil)
+}
+
+func runA1(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	var out []*report.Table
+	for _, st := range []core.Strength{core.InsertOnly, core.Full} {
+		opts := o.Prot
+		opts.Strength = st
+		rows, err := s.OracleStudy(o.LLCSize, o.LLCWays, []string{"lru", "srrip"}, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, OracleTable(fmt.Sprintf("A1: oracle with %s protection (%s LLC)", st, mbLabel(o.LLCSize)), rows))
+	}
+	return out, nil
+}
+
+func runA2(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	var out []*report.Table
+	for _, bits := range []int{8, 11, 14, 17} {
+		cfg := predictor.DefaultConfig()
+		cfg.TableBits = bits
+		rows, err := s.PredictorAccuracy(o.LLCSize, o.LLCWays, cfg, []string{"addr", "pc"})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PredictorTable(fmt.Sprintf("A2: predictor accuracy with 2^%d-entry tables (%s LLC)", bits, mbLabel(o.LLCSize)), rows))
+	}
+	return out, nil
+}
+
+func runA3(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	var out []*report.Table
+	for _, w := range []int{8, 16, 32} {
+		rows, err := s.OracleStudy(o.LLCSize, w, []string{"lru"}, o.Prot)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, OracleTable(fmt.Sprintf("A3: oracle gain at %d-way associativity (%s LLC)", w, mbLabel(o.LLCSize)), rows))
+	}
+	return out, nil
+}
+
+func runA4(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	rows, err := s.OracleHorizonSweep(o.LLCSize, o.LLCWays, nil, o.Prot)
+	if err != nil {
+		return nil, err
+	}
+	return one(HorizonTable(fmt.Sprintf("A4: oracle gain vs sharing horizon (%s LLC, LRU)", mbLabel(o.LLCSize)), rows), nil)
+}
+
+func runA5(s *Suite, o ExpOptions) ([]*report.Table, error) {
+	// Seed robustness: rebuild a suite subset under several seeds and
+	// compare the F5 means. Uses its own suites; the prepared streams
+	// are not reused.
+	t := report.NewTable(fmt.Sprintf("A5: oracle gain across seeds (%s LLC, LRU)", mbLabel(o.LLCSize)),
+		"seed", "mean-reduction", "workloads")
+	sub, err := ModelsByName([]string{"canneal", "dedup", "barnes", "ocean", "streamcluster", "swaptions"})
+	if err != nil {
+		return nil, err
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		cfg := s.Config
+		cfg.Seed = seed
+		cfg.Models = sub
+		s2, err := NewSuiteContext(s.context(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := s2.OracleStudy(o.LLCSize, o.LLCWays, []string{"lru"}, o.Prot)
+		if err != nil {
+			return nil, err
+		}
+		t.MustRow(fmt.Sprintf("%d", seed), stats.Pct(MeanReduction(rows, "lru")),
+			fmt.Sprintf("%d", len(rows)))
+	}
+	t.Note = "same workload subset regenerated per seed; the headroom is a property of the sharing structure, not of one trace"
+	return []*report.Table{t}, nil
+}

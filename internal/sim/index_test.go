@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sharellc/internal/cache"
+)
+
+func indexTestSuite(t *testing.T) *Suite {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Scale = 0.02
+	models, err := ModelsByName([]string{"canneal", "swaptions"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Models = models
+	s, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExperimentIndexComplete(t *testing.T) {
+	want := []string{"config", "suite", "f1", "f2", "f3", "f4", "f5", "f7", "f8", "f9",
+		"c1", "c2", "m1", "a1", "a2", "a3", "a4", "a5"}
+	if got := ExperimentIDs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ExperimentIDs() = %v, want %v", got, want)
+	}
+	for _, e := range Experiments() {
+		if e.Run == nil {
+			t.Errorf("experiment %s has no runner", e.ID)
+		}
+		if e.Title == "" {
+			t.Errorf("experiment %s has no title", e.ID)
+		}
+	}
+}
+
+func TestExperimentByIDUnknown(t *testing.T) {
+	_, err := ExperimentByID("nonesuch")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if !strings.Contains(err.Error(), "valid ids") || !strings.Contains(err.Error(), "f1") {
+		t.Errorf("error %q does not enumerate valid ids", err)
+	}
+	if _, err := ExperimentByID("F1"); err != nil {
+		t.Errorf("ids should be case-insensitive: %v", err)
+	}
+}
+
+func TestStaticExperimentsRunWithoutSuite(t *testing.T) {
+	for _, id := range []string{"config", "suite"} {
+		e, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.NeedsSuite {
+			t.Errorf("%s should not need a suite", id)
+		}
+		tables, err := e.Run(nil, DefaultExpOptions())
+		if err != nil || len(tables) != 1 {
+			t.Errorf("%s: tables=%d err=%v", id, len(tables), err)
+		}
+	}
+}
+
+func TestModelsByNameUnknown(t *testing.T) {
+	_, err := ModelsByName([]string{"doom"})
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if !strings.Contains(err.Error(), "valid workloads") {
+		t.Errorf("error %q does not enumerate valid workloads", err)
+	}
+}
+
+// TestSuiteContextCancelsExperiments: a suite carrying a cancelled
+// context refuses to run, and a mid-flight cancellation aborts an
+// experiment promptly with the context's error.
+func TestSuiteContextCancelsExperiments(t *testing.T) {
+	s := indexTestSuite(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.WithContext(ctx).Characterize(256*cache.KB, 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled Characterize: err = %v, want context.Canceled", err)
+	}
+
+	// Mid-flight: cancel once the first progress callback fires.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var once sync.Once
+	s2 := s.WithContext(ctx2).WithProgress(func(done, total int, label string) {
+		once.Do(cancel2)
+	})
+	start := time.Now()
+	_, err := s2.ComparePolicies(256*cache.KB, 8, nil)
+	if err == nil {
+		// The run can legitimately finish if the last cell completed
+		// first — but with 2 workloads × full policy list that is a
+		// bug in the plumbing.
+		t.Fatal("ComparePolicies completed despite cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+// TestWithProgressReportsEveryCell: the progress callback sees every
+// completed cell exactly once and ends at done == total.
+func TestWithProgressReportsEveryCell(t *testing.T) {
+	s := indexTestSuite(t)
+	var mu sync.Mutex
+	var got []int
+	total := -1
+	s2 := s.WithProgress(func(done, tot int, label string) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, done)
+		total = tot
+	})
+	if _, err := s2.Characterize(256*cache.KB, 8); err != nil {
+		t.Fatal(err)
+	}
+	if total != len(s.Streams) || len(got) != total {
+		t.Fatalf("progress: %d callbacks, total %d, want %d", len(got), total, len(s.Streams))
+	}
+	seen := map[int]bool{}
+	for _, d := range got {
+		if d < 1 || d > total || seen[d] {
+			t.Errorf("bad done sequence %v", got)
+			break
+		}
+		seen[d] = true
+	}
+}
+
+func TestShardBudget(t *testing.T) {
+	if got := ShardBudget(1); got < 1 {
+		t.Errorf("ShardBudget(1) = %d", got)
+	}
+	if got := ShardBudget(1 << 20); got != 1 {
+		t.Errorf("ShardBudget(huge) = %d, want 1", got)
+	}
+}
+
+// TestWithContextDoesNotPerturbResults guards the serving layer's core
+// invariant: the same suite produces bit-identical rows with and
+// without context/progress plumbing attached.
+func TestWithContextDoesNotPerturbResults(t *testing.T) {
+	s := indexTestSuite(t)
+	base, err := s.Characterize(256*cache.KB, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.WithContext(context.Background()).
+		WithProgress(func(int, int, string) {}).
+		Characterize(256*cache.KB, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, got) {
+		t.Errorf("rows diverge with ctx/progress attached")
+	}
+}

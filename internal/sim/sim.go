@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -84,10 +85,30 @@ func BuildStream(m workloads.Model, machine cache.Config, seed uint64) (*Stream,
 type Suite struct {
 	Config  Config
 	Streams []*Stream
+
+	// ctx, when non-nil, cancels every experiment run on the suite: the
+	// outer fan-out stops claiming cells and the inner replay loops
+	// abort at their next poll (sharing.Options.Ctx). Set via
+	// NewSuiteContext or WithContext.
+	ctx context.Context
+	// progress, when non-nil, is invoked after each completed work item
+	// of an experiment fan-out (per workload, or per workload×policy
+	// cell) with the running completion count, the total, and the
+	// workload label. Set via WithProgress; callbacks may arrive
+	// concurrently from worker goroutines.
+	progress func(done, total int, label string)
 }
 
 // NewSuite prepares every workload's stream in parallel.
 func NewSuite(cfg Config) (*Suite, error) {
+	return NewSuiteContext(context.Background(), cfg)
+}
+
+// NewSuiteContext is NewSuite with a cancellation context: stream
+// preparation aborts between workloads when ctx is cancelled, and the
+// context is retained so every later experiment run on the suite is
+// cancellable too.
+func NewSuiteContext(ctx context.Context, cfg Config) (*Suite, error) {
 	if cfg.Scale <= 0 {
 		return nil, fmt.Errorf("sim: non-positive scale %v", cfg.Scale)
 	}
@@ -106,7 +127,7 @@ func NewSuite(cfg Config) (*Suite, error) {
 		scaled[i] = m
 	}
 	streams := make([]*Stream, len(scaled))
-	err := parallel(len(scaled), func(i int) error {
+	err := parallelCapCtx(ctx, len(scaled), runtime.GOMAXPROCS(0), func(i int) error {
 		s, err := BuildStream(scaled[i], cfg.Machine, cfg.Seed)
 		if err != nil {
 			return err
@@ -117,7 +138,47 @@ func NewSuite(cfg Config) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Suite{Config: cfg, Streams: streams}, nil
+	return &Suite{Config: cfg, Streams: streams, ctx: ctx}, nil
+}
+
+// WithContext returns a shallow copy of the suite whose experiment runs
+// are cancelled when ctx is. The prepared streams are shared, so the
+// copy is cheap.
+func (s *Suite) WithContext(ctx context.Context) *Suite {
+	c := *s
+	c.ctx = ctx
+	return &c
+}
+
+// WithProgress returns a shallow copy of the suite that reports per-cell
+// completion through fn (see the progress field for the contract).
+func (s *Suite) WithProgress(fn func(done, total int, label string)) *Suite {
+	c := *s
+	c.progress = fn
+	return &c
+}
+
+// context returns the suite's cancellation context, defaulting to
+// Background for suites built without one.
+func (s *Suite) context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
+}
+
+// par fans f out across the CPUs under the suite's context — the outer
+// loop of every experiment runner.
+func (s *Suite) par(n int, f func(i int) error) error {
+	return parallelCapCtx(s.context(), n, runtime.GOMAXPROCS(0), f)
+}
+
+// step reports one completed work item to the progress callback, if any.
+// done is the experiment's own completion counter.
+func (s *Suite) step(done *atomic.Int64, total int, label string) {
+	if s.progress != nil {
+		s.progress(int(done.Add(1)), total, label)
+	}
 }
 
 // Stream returns the prepared stream for the named workload.
@@ -142,6 +203,13 @@ func (s *Suite) shardsFor(cells int) int {
 	return leftoverShards(cells)
 }
 
+// ShardBudget returns the per-replay shard request that keeps n
+// concurrent experiment runs within GOMAXPROCS — the same leftover-CPU
+// division shardsFor applies inside a single experiment's fan-out. The
+// sharesimd worker pool uses it to set Config.Shards for each of its n
+// workers so that workers × shards never oversubscribes the machine.
+func ShardBudget(n int) int { return leftoverShards(n) }
+
 // leftoverShards divides GOMAXPROCS across cells concurrent cells,
 // returning the per-cell shard budget (at least 1 = sequential).
 func leftoverShards(cells int) int {
@@ -158,21 +226,26 @@ func leftoverShards(cells int) int {
 // parallel runs f(0..n-1) across up to GOMAXPROCS workers and returns the
 // first error.
 func parallel(n int, f func(i int) error) error {
-	return parallelCap(n, runtime.GOMAXPROCS(0), f)
+	return parallelCapCtx(context.Background(), n, runtime.GOMAXPROCS(0), f)
 }
 
-// parallelCap is parallel with an explicit worker cap, for callers that
-// must split the CPU budget with nested parallelism (a sharded replay
-// inside an experiment fan-out) and would otherwise oversubscribe. Work
-// items are claimed from a lock-free atomic counter; the first error
-// stops further claims and is returned after all workers drain.
-func parallelCap(n, cap int, f func(i int) error) error {
+// parallelCapCtx is parallel with an explicit worker cap and a
+// cancellation context. The cap exists for callers that must split the
+// CPU budget with nested parallelism (a sharded replay inside an
+// experiment fan-out) and would otherwise oversubscribe. Work items are
+// claimed from a lock-free atomic counter; the first error — including
+// ctx's error once it is cancelled, checked before each claim — stops
+// further claims and is returned after all workers drain.
+func parallelCapCtx(ctx context.Context, n, cap int, f func(i int) error) error {
 	workers := cap
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := f(i); err != nil {
 				return err
 			}
@@ -199,6 +272,10 @@ func parallelCap(n, cap int, f func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				i := next.Add(1) - 1
 				if i >= int64(n) {
 					return

@@ -7,11 +7,18 @@
 # counted runs each; the first F1 iteration also pays the one-time suite
 # build (sync.Once), so compare steady-state lines (runs 2-3).
 #
-#   scripts/bench.sh [output.json]    # default output: BENCH_PR1.json
+#   scripts/bench.sh [output.json] [baseline.json]
+#     default output:   BENCH_PR2.json
+#     default baseline: BENCH_PR1.json (skipped when absent)
+#
+# After writing the output, the steady-state (minimum) ns/op of
+# BenchmarkF1SharedHitFraction4MB is compared against the baseline file;
+# a regression of more than 20% prints a prominent warning on stderr.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR1.json}"
+OUT="${1:-BENCH_PR2.json}"
+BASELINE="${2:-BENCH_PR1.json}"
 BENCHES='^(BenchmarkF1SharedHitFraction4MB|BenchmarkF2SharedHitFraction8MB|BenchmarkF9SharingPhases)$'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -48,3 +55,36 @@ awk -v out_start=1 '
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
+
+# min_f1 FILE: the steady-state (minimum) ns_per_op recorded for
+# BenchmarkF1SharedHitFraction4MB in a bench JSON file.
+min_f1() {
+  awk '
+    /"name": "BenchmarkF1SharedHitFraction4MB"/ {
+      if (match($0, /"ns_per_op": [0-9.e+]+/)) {
+        v = substr($0, RSTART + 13, RLENGTH - 13) + 0
+        if (best == "" || v < best) best = v
+      }
+    }
+    END { if (best != "") print best }
+  ' "$1"
+}
+
+if [[ -f "$BASELINE" ]]; then
+  new_ns="$(min_f1 "$OUT")"
+  base_ns="$(min_f1 "$BASELINE")"
+  if [[ -n "$new_ns" && -n "$base_ns" ]]; then
+    awk -v new="$new_ns" -v base="$base_ns" -v baseline="$BASELINE" '
+      BEGIN {
+        pct = (new - base) / base * 100
+        printf "F1 steady-state: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%)\n", new, base, pct > "/dev/stderr"
+        if (new > base * 1.2) {
+          printf "WARNING: BenchmarkF1SharedHitFraction4MB regressed more than 20%% vs %s\n", baseline > "/dev/stderr"
+        }
+      }'
+  else
+    echo "warning: could not extract F1 ns/op for baseline comparison" >&2
+  fi
+else
+  echo "baseline $BASELINE not found; skipping regression check" >&2
+fi
