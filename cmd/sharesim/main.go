@@ -41,12 +41,14 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"sharellc/internal/cache"
 	"sharellc/internal/core"
 	"sharellc/internal/report"
 	"sharellc/internal/sim"
+	"sharellc/internal/sim/streamcache"
 )
 
 func main() {
@@ -70,6 +72,7 @@ type options struct {
 	md        bool
 	jsonOut   bool
 	quiet     bool
+	cachedir  string
 }
 
 func run(w io.Writer, args []string) error {
@@ -89,6 +92,7 @@ func run(w io.Writer, args []string) error {
 		mdOut    = fs.Bool("md", false, "emit markdown instead of text tables")
 		jsonOut  = fs.Bool("json", false, "emit one compact JSON object per table (the daemon's encoding)")
 		quiet    = fs.Bool("quiet", false, "suppress progress messages")
+		cachedir = fs.String("cachedir", "auto", "stream snapshot directory (auto = user cache dir, off = no stream cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +101,7 @@ func run(w io.Writer, args []string) error {
 		exp:   strings.ToLower(*exp),
 		llcMB: *llcMB, ways: *ways, scale: *scale, seed: *seed,
 		csv: *csvOut, md: *mdOut, jsonOut: *jsonOut, quiet: *quiet,
+		cachedir: *cachedir,
 	}
 	switch *strength {
 	case "full":
@@ -155,14 +160,44 @@ func dispatch(w io.Writer, o options) error {
 			Scale:   o.scale,
 			Models:  models,
 		}
+		var streams *streamcache.Cache
+		if dir, ok := streamcache.DirFromFlag(o.cachedir); ok {
+			streams = streamcache.New(streamcache.Options{Dir: dir})
+			cfg.Streams = streams.Stream
+		}
+		if !o.quiet {
+			// Stream-preparation callbacks arrive concurrently and may be
+			// reordered between the counter increment and the print, so
+			// only ever advance the carriage-returned progress line.
+			var mu sync.Mutex
+			best := 0
+			cfg.Progress = func(done, total int, label string) {
+				mu.Lock()
+				defer mu.Unlock()
+				if done <= best {
+					return
+				}
+				best = done
+				fmt.Fprintf(os.Stderr, "\rsharesim: preparing %d/%d workload streams", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
 		start := time.Now()
 		suite, err = sim.NewSuite(cfg)
 		if err != nil {
 			return err
 		}
 		if !o.quiet {
-			fmt.Fprintf(os.Stderr, "sharesim: prepared %d workload streams in %v\n",
-				len(suite.Streams), time.Since(start).Round(time.Millisecond))
+			from := ""
+			if streams != nil {
+				if st := streams.Stats(); st.DiskHits > 0 {
+					from = fmt.Sprintf(" (%d from snapshot cache)", st.DiskHits)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "sharesim: prepared %d workload streams in %v%s\n",
+				len(suite.Streams), time.Since(start).Round(time.Millisecond), from)
 		}
 	}
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -18,9 +19,10 @@ func runOK(t *testing.T, args ...string) string {
 	return b.String()
 }
 
-// fast prepends the standard scaling flags.
+// fast prepends the standard scaling flags. The stream cache is off so
+// tests never touch (or depend on) the user's snapshot directory.
 func fast(args ...string) []string {
-	return append([]string{"-quiet", "-scale", "0.02", "-workloads", "canneal,swaptions"}, args...)
+	return append([]string{"-quiet", "-scale", "0.02", "-workloads", "canneal,swaptions", "-cachedir", "off"}, args...)
 }
 
 func TestConfigTable(t *testing.T) {
@@ -184,5 +186,31 @@ func TestBadFlagRejected(t *testing.T) {
 	var b strings.Builder
 	if err := run(&b, []string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+// TestCachedirWarmRunIdentical: a -cachedir run populates snapshot files
+// and a second invocation (a fresh process in spirit: nothing shared but
+// the directory) produces byte-identical output from them.
+func TestCachedirWarmRunIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-quiet", "-scale", "0.02", "-workloads", "canneal,swaptions",
+		"-cachedir", dir, "-exp", "f1", "-json"}
+	cold := runOK(t, args...)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".sllc") {
+			snaps++
+		}
+	}
+	if snaps != 2 {
+		t.Fatalf("cold run left %d snapshots, want 2", snaps)
+	}
+	if warm := runOK(t, args...); warm != cold {
+		t.Errorf("warm run output differs from cold run:\n%s\nvs\n%s", warm, cold)
 	}
 }

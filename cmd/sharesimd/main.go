@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sharesimd -addr :8070 -workers 2 -cache 64 -queue 16 -drain 30s
+//	sharesimd -addr :8070 -workers 2 -cache 64 -queue 16 -drain 30s -cachedir auto
 //
 // SIGINT/SIGTERM begin a graceful shutdown: the listener stops accepting
 // connections, queued jobs are cancelled, and running jobs get up to
@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"sharellc/internal/server"
+	"sharellc/internal/sim/streamcache"
 )
 
 func main() {
@@ -32,18 +33,30 @@ func main() {
 	log.SetPrefix("sharesimd: ")
 
 	var (
-		addr    = flag.String("addr", ":8070", "listen address")
-		workers = flag.Int("workers", 2, "concurrent experiment runs")
-		cacheN  = flag.Int("cache", 64, "completed results retained in the LRU cache")
-		queueN  = flag.Int("queue", 16, "queued jobs accepted before 503")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		addr     = flag.String("addr", ":8070", "listen address")
+		workers  = flag.Int("workers", 2, "concurrent experiment runs")
+		cacheN   = flag.Int("cache", 64, "completed results retained in the LRU cache")
+		queueN   = flag.Int("queue", 16, "queued jobs accepted before 503")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		cachedir = flag.String("cachedir", "auto", "stream snapshot directory (auto = user cache dir, off = no snapshots; streams are still shared in-process)")
+		memMB    = flag.Int64("stream-mem", 0, "in-process stream cache budget in MB (0 = default, <0 = unlimited)")
 	)
 	flag.Parse()
 
+	// Jobs always share built streams in-process; -cachedir only decides
+	// whether they also persist across daemon restarts.
+	dir, _ := streamcache.DirFromFlag(*cachedir)
+	budget := *memMB
+	if budget > 0 {
+		budget *= 1 << 20
+	}
+	streams := streamcache.New(streamcache.Options{Dir: dir, MemBudget: budget})
+
 	srv := server.New(server.Config{
-		Workers:    *workers,
-		CacheSize:  *cacheN,
-		QueueDepth: *queueN,
+		Workers:     *workers,
+		CacheSize:   *cacheN,
+		QueueDepth:  *queueN,
+		StreamCache: streams,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -52,7 +65,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers, cache %d, queue %d)", *addr, *workers, *cacheN, *queueN)
+	snapdir := streams.Dir()
+	if snapdir == "" {
+		snapdir = "off"
+	}
+	log.Printf("listening on %s (%d workers, cache %d, queue %d, snapshots %s)", *addr, *workers, *cacheN, *queueN, snapdir)
 
 	select {
 	case err := <-errCh:

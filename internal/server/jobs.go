@@ -15,6 +15,7 @@ import (
 
 	"sharellc/internal/report"
 	"sharellc/internal/sim"
+	"sharellc/internal/sim/streamcache"
 )
 
 // Request is the body of POST /v1/jobs. Zero fields take the CLI's
@@ -191,6 +192,14 @@ type Config struct {
 	CacheSize  int // completed results retained; <=0 means 64
 	Runner     Runner
 	Now        func() time.Time // test hook; nil means time.Now
+
+	// StreamCache, when non-nil, supplies prepared workload streams to
+	// every job's suite construction, so jobs that share (machine, seed,
+	// scale, workloads) — even while differing in LLC size or policy —
+	// build each stream at most once per daemon process. Its counters are
+	// exported on /metrics as the sharesimd_stream_* series. Ignored when
+	// a custom Runner is set.
+	StreamCache *streamcache.Cache
 }
 
 // Manager owns the worker pool, the coalescing map and the result cache.
@@ -227,7 +236,7 @@ func NewManager(cfg Config) *Manager {
 		cfg.CacheSize = 64
 	}
 	if cfg.Runner == nil {
-		cfg.Runner = defaultRunner(cfg.Workers)
+		cfg.Runner = defaultRunner(cfg.Workers, cfg.StreamCache)
 	}
 	now := cfg.Now
 	if now == nil {
@@ -244,6 +253,9 @@ func NewManager(cfg Config) *Manager {
 		queue:    make(chan *Job, cfg.QueueDepth),
 		cache:    newResultCache(cfg.CacheSize),
 		met:      newMetrics(),
+	}
+	if cfg.StreamCache != nil {
+		m.met.streams = cfg.StreamCache.Stats
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)

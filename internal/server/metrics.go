@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"sharellc/internal/sim/streamcache"
 )
 
 // metrics is a small hand-rolled Prometheus registry: the daemon's
@@ -25,6 +27,11 @@ type metrics struct {
 	inflight    int
 
 	durations map[string]*histogram // per experiment id, seconds
+
+	// streams, when non-nil, reads the shared stream cache's counters at
+	// scrape time (the cache keeps its own consistent snapshot; nothing
+	// is double-counted here).
+	streams func() streamcache.Stats
 }
 
 // durationBuckets are the histogram upper bounds in seconds, spanning
@@ -66,7 +73,7 @@ func (m *metrics) jobFinished(state, exp string, seconds float64) {
 	h.total++
 }
 
-func (m *metrics) add(field *uint64)  { m.mu.Lock(); *field++; m.mu.Unlock() }
+func (m *metrics) add(field *uint64) { m.mu.Lock(); *field++; m.mu.Unlock() }
 func (m *metrics) gauge(field *int, d int) {
 	m.mu.Lock()
 	*field += d
@@ -133,6 +140,32 @@ func (m *metrics) write(w io.Writer) {
 		fmt.Fprintf(&b, "sharesimd_job_duration_seconds_bucket{exp=%q,le=\"+Inf\"} %d\n", e, h.total)
 		fmt.Fprintf(&b, "sharesimd_job_duration_seconds_sum{exp=%q} %g\n", e, h.sum)
 		fmt.Fprintf(&b, "sharesimd_job_duration_seconds_count{exp=%q} %d\n", e, h.total)
+	}
+
+	if m.streams != nil {
+		st := m.streams()
+		for _, c := range []struct {
+			name, help string
+			v          uint64
+		}{
+			{"sharesimd_stream_builds_total", "Full workload-stream builds (both cache levels missed).", st.Builds},
+			{"sharesimd_stream_hits_total", "Stream requests served from the in-process cache.", st.Hits},
+			{"sharesimd_stream_misses_total", "Stream requests that missed the in-process cache.", st.Misses},
+			{"sharesimd_stream_coalesced_total", "Stream requests coalesced onto an in-flight build.", st.Coalesced},
+			{"sharesimd_stream_disk_hits_total", "Streams loaded from snapshot files.", st.DiskHits},
+			{"sharesimd_stream_disk_misses_total", "Snapshot probes that found no usable file.", st.DiskMiss},
+			{"sharesimd_stream_evictions_total", "Streams evicted from the in-process cache.", st.Evictions},
+			{"sharesimd_stream_disk_read_bytes_total", "Snapshot bytes read from disk.", st.BytesRead},
+			{"sharesimd_stream_disk_written_bytes_total", "Snapshot bytes written to disk.", st.BytesWritten},
+		} {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+		}
+		b.WriteString("# HELP sharesimd_stream_mem_bytes Stream bytes resident in the in-process cache.\n")
+		b.WriteString("# TYPE sharesimd_stream_mem_bytes gauge\n")
+		fmt.Fprintf(&b, "sharesimd_stream_mem_bytes %d\n", st.BytesInMem)
+		b.WriteString("# HELP sharesimd_stream_entries Streams resident in the in-process cache.\n")
+		b.WriteString("# TYPE sharesimd_stream_entries gauge\n")
+		fmt.Fprintf(&b, "sharesimd_stream_entries %d\n", st.Entries)
 	}
 	io.WriteString(w, b.String())
 }

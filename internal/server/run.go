@@ -7,14 +7,18 @@ import (
 	"sharellc/internal/core"
 	"sharellc/internal/report"
 	"sharellc/internal/sim"
+	"sharellc/internal/sim/streamcache"
 )
 
 // defaultRunner builds the production Runner: it resolves the request
 // against the shared experiment index (the same catalogue cmd/sharesim
 // dispatches through, which is what makes daemon output bit-identical to
 // `sharesim -json`) and budgets per-replay set shards so that
-// workers × shards never oversubscribes GOMAXPROCS.
-func defaultRunner(workers int) Runner {
+// workers × shards never oversubscribes GOMAXPROCS. When sc is non-nil
+// it serves every suite's streams, so concurrent and sequential jobs
+// sharing (machine, seed, scale, workloads) build each stream at most
+// once per process regardless of their LLC size or policy.
+func defaultRunner(workers int, sc *streamcache.Cache) Runner {
 	shards := sim.ShardBudget(workers)
 	return func(ctx context.Context, req Request, progress func(done, total int, label string)) ([]*report.Table, error) {
 		exp, err := sim.ExperimentByID(req.Exp)
@@ -43,6 +47,15 @@ func defaultRunner(workers int) Runner {
 				Scale:   req.Scale,
 				Models:  models,
 				Shards:  shards,
+				// Suite preparation reports through the same progress
+				// channel as the experiment fan-out; the "prepare" prefix
+				// distinguishes the phase in the SSE stream.
+				Progress: func(done, total int, label string) {
+					progress(done, total, "prepare "+label)
+				},
+			}
+			if sc != nil {
+				cfg.Streams = sc.Stream
 			}
 			suite, err = sim.NewSuiteContext(ctx, cfg)
 			if err != nil {

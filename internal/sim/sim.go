@@ -34,7 +34,27 @@ type Config struct {
 	// n > 1 asks for up to n shards per replay. Results are identical at
 	// every setting; only wall-clock time changes.
 	Shards int
+	// Streams, when non-nil, supplies each prepared stream instead of a
+	// direct BuildStream call — the hook through which the streamcache
+	// package shares streams across suites and processes. The provider
+	// receives the already-scaled model, so its result must be
+	// bit-identical to BuildStream(m, machine, seed) for the same
+	// arguments (the cache's byte-compare tests enforce this).
+	Streams StreamProvider
+	// Progress, when non-nil, is invoked after each stream finishes
+	// preparing during NewSuite, with the running completion count, the
+	// total stream count and the workload name. Callbacks may arrive
+	// concurrently from the preparation workers. It reports only suite
+	// construction; experiment fan-out progress goes through
+	// Suite.WithProgress.
+	Progress func(done, total int, label string)
 }
+
+// StreamProvider builds (or fetches) the prepared LLC reference stream
+// for one workload on one private-hierarchy geometry and seed. The
+// default provider wraps BuildStream; streamcache.Cache.Stream is the
+// caching one.
+type StreamProvider func(ctx context.Context, m workloads.Model, machine cache.Config, seed uint64) (*Stream, error)
 
 // DefaultConfig is the paper's setup: the 4 MB-LLC machine (8 MB via
 // WithLLC), seed 1, full scale, full suite.
@@ -126,13 +146,23 @@ func NewSuiteContext(ctx context.Context, cfg Config) (*Suite, error) {
 		}
 		scaled[i] = m
 	}
+	build := cfg.Streams
+	if build == nil {
+		build = func(_ context.Context, m workloads.Model, machine cache.Config, seed uint64) (*Stream, error) {
+			return BuildStream(m, machine, seed)
+		}
+	}
 	streams := make([]*Stream, len(scaled))
+	var done atomic.Int64
 	err := parallelCapCtx(ctx, len(scaled), runtime.GOMAXPROCS(0), func(i int) error {
-		s, err := BuildStream(scaled[i], cfg.Machine, cfg.Seed)
+		s, err := build(ctx, scaled[i], cfg.Machine, cfg.Seed)
 		if err != nil {
 			return err
 		}
 		streams[i] = s
+		if cfg.Progress != nil {
+			cfg.Progress(int(done.Add(1)), len(scaled), s.Model.Name)
+		}
 		return nil
 	})
 	if err != nil {

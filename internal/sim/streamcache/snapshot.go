@@ -1,0 +1,155 @@
+package streamcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/sim"
+	"sharellc/internal/workloads"
+)
+
+// The snapshot file format (one file per cache key):
+//
+//	magic    [8]byte  "SHLLCSS" + codecVersion digit
+//	key      [32]byte raw SHA-256 cache key (must match the lookup key)
+//	header   uvarints: count, numBlocks, traceLen, l1Hits, l2Hits
+//	records  count × cache.AppendAccessInfos encoding
+//	crc      [4]byte  CRC-32C (Castagnoli) of everything before it, LE
+//
+// Loads are a single bulk os.ReadFile followed by one decode pass into a
+// preallocated []cache.AccessInfo sized from the header. Every validity
+// check — magic/version, key, checksum, record decode, header bounds —
+// fails soft: loadSnapshot reports !ok and the caller rebuilds the
+// stream and rewrites the file. A snapshot can therefore be deleted,
+// truncated or bit-flipped at any time without affecting results, only
+// warm-start time.
+
+// snapshotMagic identifies stream snapshot files; the trailing digit is
+// codecVersion, so a format bump orphans older files at the magic check
+// (their keys change too, via Key's version line).
+var snapshotMagic = [8]byte{'S', 'H', 'L', 'L', 'C', 'S', 'S', '0' + codecVersion}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errSnapshot is the internal "fall back to rebuild" sentinel; load
+// failures are deliberately not propagated further.
+var errSnapshot = errors.New("streamcache: invalid snapshot")
+
+// writeSnapshot encodes s and atomically installs it at path (write to a
+// temp file in the same directory, then rename), returning the file
+// size. Failures leave no partial file behind.
+func writeSnapshot(path, key string, s *sim.Stream) (int, error) {
+	keyBytes, err := decodeKey(key)
+	if err != nil {
+		return 0, err
+	}
+	// Records dominate; 8 bytes each is a comfortable overestimate for
+	// the header and typical record sizes.
+	buf := make([]byte, 0, len(snapshotMagic)+len(keyBytes)+5*binary.MaxVarintLen64+8*len(s.Accesses))
+	buf = append(buf, snapshotMagic[:]...)
+	buf = append(buf, keyBytes...)
+	for _, v := range []uint64{uint64(len(s.Accesses)), uint64(s.NumBlocks), s.TraceLen, s.L1Hits, s.L2Hits} {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	buf, err = cache.AppendAccessInfos(buf, s.Accesses)
+	if err != nil {
+		return 0, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".sllc-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// loadSnapshot bulk-reads path and reconstructs the stream for m. ok is
+// false — never an error surfaced to the experiment — when the file is
+// absent, from another format version, keyed differently, corrupt or
+// truncated.
+func loadSnapshot(path, key string, m workloads.Model) (s *sim.Stream, bytesRead int, ok bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false
+	}
+	s, err = decodeSnapshot(data, key, m)
+	if err != nil {
+		return nil, len(data), false
+	}
+	return s, len(data), true
+}
+
+// decodeSnapshot validates and decodes one snapshot image.
+func decodeSnapshot(data []byte, key string, m workloads.Model) (*sim.Stream, error) {
+	const minLen = 8 + 32 + 5 + 4 // magic + key + 1-byte header fields + crc
+	if len(data) < minLen {
+		return nil, errSnapshot
+	}
+	if [8]byte(data[:8]) != snapshotMagic {
+		return nil, errSnapshot
+	}
+	keyBytes, err := decodeKey(key)
+	if err != nil || string(data[8:40]) != string(keyBytes) {
+		return nil, errSnapshot
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, errSnapshot
+	}
+	pos := 40
+	header := make([]uint64, 5)
+	for i := range header {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return nil, errSnapshot
+		}
+		header[i] = v
+		pos += n
+	}
+	count, numBlocks := header[0], header[1]
+	// A stream has at most one BlockID per access and fits in memory;
+	// reject absurd counts before allocating.
+	if count > uint64(len(body)) || numBlocks > count {
+		return nil, errSnapshot
+	}
+	accesses := make([]cache.AccessInfo, count)
+	n, err := cache.DecodeAccessInfos(body[pos:], accesses)
+	if err != nil || pos+n != len(body) {
+		return nil, errSnapshot
+	}
+	return &sim.Stream{
+		Model:     m,
+		Accesses:  accesses,
+		NumBlocks: int(numBlocks),
+		TraceLen:  header[2],
+		L1Hits:    header[3],
+		L2Hits:    header[4],
+	}, nil
+}
+
+// decodeKey turns the hex cache key back into its raw 32 bytes.
+func decodeKey(key string) ([]byte, error) {
+	out, err := hex.DecodeString(key)
+	if err != nil || len(out) != sha256.Size {
+		return nil, errSnapshot
+	}
+	return out, nil
+}

@@ -1,0 +1,318 @@
+// Package streamcache is a two-level cache of prepared LLC reference
+// streams (sim.Stream). The stream a workload presents to the LLC is
+// LLC-independent — the private L1/L2 hierarchy fixes it per
+// (model, private geometry, seed) — yet it is by far the most expensive
+// part of suite construction. The cache removes that cost from every
+// path that repeats it:
+//
+//   - an in-process level shares built *sim.Stream values between
+//     concurrent and sequential suite constructions (daemon jobs, CLI
+//     invocations inside one process, benchmarks), with singleflight
+//     coalescing so N requesters of the same key trigger exactly one
+//     build, and an LRU byte budget bounding resident stream memory;
+//   - an on-disk level snapshots each stream into a versioned,
+//     checksummed flat binary file (cache.AppendAccessInfos records
+//     under a small header), so later processes skip generation and
+//     private-hierarchy filtering entirely and bulk-load the stream.
+//
+// Correctness contract: a stream served from either level is
+// bit-identical to what sim.BuildStream would have produced — snapshots
+// store every AccessInfo field (or reconstruct it exactly), and any
+// corruption, truncation or version mismatch on disk falls back to
+// rebuild-and-rewrite, never to an error or a wrong stream.
+package streamcache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"unsafe"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/sim"
+	"sharellc/internal/workloads"
+)
+
+// codecVersion is the snapshot format version. It participates in both
+// the cache key and the file magic, so a bump invalidates every existing
+// snapshot (old files are simply never looked up again, and a forged
+// lookup ignores them on the magic check).
+const codecVersion = 1
+
+// DefaultMemBudget bounds resident stream bytes when Options.MemBudget
+// is zero: two full-size 22-workload suites fit comfortably.
+const DefaultMemBudget = 2 << 30
+
+// Options configures a Cache.
+type Options struct {
+	// Dir is the snapshot directory. Empty disables the disk level (the
+	// process level still works). DefaultDir picks the conventional
+	// per-user location.
+	Dir string
+	// MemBudget caps the bytes of stream data resident in the process
+	// level; least-recently-used streams are evicted past it. 0 means
+	// DefaultMemBudget, negative means unlimited. The budget is advisory
+	// per insertion: the most recently inserted stream is never evicted,
+	// so a single stream larger than the budget still caches.
+	MemBudget int64
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Hits      uint64 // process-level hits
+	Misses    uint64 // process-level misses (disk probe and/or build followed)
+	Coalesced uint64 // lookups that joined an in-flight build
+	DiskHits  uint64 // snapshot loads
+	DiskMiss  uint64 // snapshot absent, stale or corrupt
+	Builds    uint64 // full BuildStream runs
+	Evictions uint64 // process-level LRU evictions
+
+	BytesInMem   uint64 // resident stream bytes (gauge)
+	Entries      int    // resident streams (gauge)
+	BytesRead    uint64 // snapshot bytes read from disk
+	BytesWritten uint64 // snapshot bytes written to disk
+}
+
+// DefaultDir returns the conventional snapshot directory,
+// os.UserCacheDir()/sharellc, or "" when the platform reports no user
+// cache directory (callers then run without a disk level).
+func DefaultDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "sharellc")
+}
+
+// DirFromFlag maps the conventional -cachedir flag value shared by
+// cmd/sharesim and cmd/sharesimd to a snapshot directory: "auto" picks
+// DefaultDir, "off" disables the disk level, anything else is a literal
+// path. ok reports whether the disk level is wanted at all ("off", or
+// "auto" on a platform with no user cache directory, return false).
+func DirFromFlag(v string) (dir string, ok bool) {
+	switch v {
+	case "off", "":
+		return "", false
+	case "auto":
+		d := DefaultDir()
+		return d, d != ""
+	default:
+		return v, true
+	}
+}
+
+// Cache is the two-level stream cache. The zero value is not usable;
+// call New.
+type Cache struct {
+	dir    string
+	budget int64
+
+	mu       sync.Mutex
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // value: *entry
+	inflight map[string]*flight
+	bytes    int64
+	stats    Stats
+
+	// buildHook, when non-nil, runs at the start of every full build
+	// (after both cache levels missed). Tests use it to count and to
+	// stall builds; it runs outside mu.
+	buildHook func(key string)
+}
+
+type entry struct {
+	key   string
+	s     *sim.Stream
+	bytes int64
+}
+
+// flight is one in-progress build that later requesters of the same key
+// join instead of duplicating.
+type flight struct {
+	done chan struct{} // closed after s/err are set
+	s    *sim.Stream
+	err  error
+}
+
+// New builds a Cache. When opts.Dir is non-empty it is created
+// immediately; a directory that cannot be created disables the disk
+// level rather than failing (the cache is an optimization, never a
+// correctness dependency).
+func New(opts Options) *Cache {
+	c := &Cache{
+		dir:      opts.Dir,
+		budget:   opts.MemBudget,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+	if c.budget == 0 {
+		c.budget = DefaultMemBudget
+	}
+	if c.dir != "" {
+		if err := os.MkdirAll(c.dir, 0o755); err != nil {
+			c.dir = ""
+		}
+	}
+	return c
+}
+
+// Dir reports the active snapshot directory ("" when the disk level is
+// disabled).
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.BytesInMem = uint64(c.bytes)
+	s.Entries = c.ll.Len()
+	return s
+}
+
+// Key derives the canonical content hash identifying one prepared
+// stream: the snapshot codec version, the private-hierarchy geometry
+// (the LLC fields are deliberately excluded — the stream does not depend
+// on them, so jobs differing only in LLC size or policy share an entry),
+// the seed, and every field of the already-scaled model. The model and
+// geometry are rendered with %+v, so adding a field to either struct
+// automatically changes the key rather than silently serving stale
+// streams.
+func Key(m workloads.Model, machine cache.Config, seed uint64) string {
+	private := machine
+	private.LLCSize, private.LLCWays = 0, 0
+	h := sha256.Sum256([]byte(fmt.Sprintf("sharellc stream v%d\nmachine %+v\nseed %d\nmodel %+v\n",
+		codecVersion, private, seed, m)))
+	return fmt.Sprintf("%x", h)
+}
+
+// Stream returns the prepared stream for (m, machine, seed), consulting
+// the process level, then the snapshot directory, then building. Its
+// signature is exactly sim.StreamProvider, so a Cache plugs into
+// sim.Config as cfg.Streams = c.Stream.
+func (c *Cache) Stream(ctx context.Context, m workloads.Model, machine cache.Config, seed uint64) (*sim.Stream, error) {
+	key := Key(m, machine, seed)
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.stats.Hits++
+			s := el.Value.(*entry).s
+			c.mu.Unlock()
+			return s, nil
+		}
+		if fl, ok := c.inflight[key]; ok {
+			c.stats.Coalesced++
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if fl.err == nil {
+				return fl.s, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// The builder failed — possibly because *its* context was
+			// cancelled, which must not poison requesters that are still
+			// live. Loop and retry (becoming the builder if needed); a
+			// deterministic failure recurs and is returned below.
+			continue
+		}
+		c.stats.Misses++
+		fl := &flight{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.mu.Unlock()
+
+		s, err := c.fetchOrBuild(key, m, machine, seed)
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil {
+			c.insertLocked(key, s)
+		}
+		c.mu.Unlock()
+		fl.s, fl.err = s, err
+		close(fl.done)
+		return s, err
+	}
+}
+
+// fetchOrBuild is the miss path: snapshot load if the disk level is
+// enabled, else a full build followed by a best-effort snapshot write
+// (which also repairs corrupt or stale files by overwriting them).
+func (c *Cache) fetchOrBuild(key string, m workloads.Model, machine cache.Config, seed uint64) (*sim.Stream, error) {
+	if c.dir != "" {
+		if s, n, ok := loadSnapshot(c.snapshotPath(key), key, m); ok {
+			c.mu.Lock()
+			c.stats.DiskHits++
+			c.stats.BytesRead += uint64(n)
+			c.mu.Unlock()
+			return s, nil
+		}
+		c.mu.Lock()
+		c.stats.DiskMiss++
+		c.mu.Unlock()
+	}
+	if hook := c.buildHook; hook != nil {
+		hook(key)
+	}
+	c.mu.Lock()
+	c.stats.Builds++
+	c.mu.Unlock()
+	s, err := sim.BuildStream(m, machine, seed)
+	if err != nil {
+		return nil, err
+	}
+	if c.dir != "" {
+		if n, err := writeSnapshot(c.snapshotPath(key), key, s); err == nil {
+			c.mu.Lock()
+			c.stats.BytesWritten += uint64(n)
+			c.mu.Unlock()
+		}
+	}
+	return s, nil
+}
+
+// snapshotPath maps a key to its snapshot file.
+func (c *Cache) snapshotPath(key string) string {
+	return filepath.Join(c.dir, key+".sllc")
+}
+
+// streamBytes approximates a stream's resident size for the byte budget:
+// the access slice dominates everything else.
+func streamBytes(s *sim.Stream) int64 {
+	return int64(len(s.Accesses)) * int64(unsafe.Sizeof(cache.AccessInfo{}))
+}
+
+// insertLocked adds a freshly obtained stream to the process level and
+// evicts LRU entries past the byte budget. The new entry itself is never
+// evicted, so oversized streams still serve the requesters that are
+// about to read them. Caller holds c.mu.
+func (c *Cache) insertLocked(key string, s *sim.Stream) {
+	if el, ok := c.items[key]; ok { // lost a cross-key race; keep the resident one
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &entry{key: key, s: s, bytes: streamBytes(s)}
+	c.items[key] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	if c.budget < 0 {
+		return
+	}
+	for c.bytes > c.budget && c.ll.Len() > 1 {
+		last := c.ll.Back()
+		victim := last.Value.(*entry)
+		c.ll.Remove(last)
+		delete(c.items, victim.key)
+		c.bytes -= victim.bytes
+		c.stats.Evictions++
+	}
+}

@@ -157,5 +157,15 @@ func (fr *FileReader) fail(err error) {
 // Err implements Reader.
 func (fr *FileReader) Err() error { return fr.err }
 
-func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
-func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+// Zigzag maps a signed delta onto an unsigned varint-friendly value
+// (small magnitudes of either sign encode short). Exported so the other
+// delta codecs of the repository — the stream-snapshot encoding in
+// internal/cache reuses exactly this transform — stay bit-compatible
+// with the trace format's convention.
+func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func zigzag(v int64) uint64   { return Zigzag(v) }
+func unzigzag(u uint64) int64 { return Unzigzag(u) }

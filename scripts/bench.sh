@@ -3,13 +3,18 @@
 # as JSON for cross-PR regression tracking.
 #
 # Pinned set: the F1/F2 characterization benchmarks (the replay engine's
-# hot path, full-size suite) and F9 (the stream-side analyzers). Three
-# counted runs each; the first F1 iteration also pays the one-time suite
-# build (sync.Once), so compare steady-state lines (runs 2-3).
+# hot path, full-size suite) and F9 (the stream-side analyzers), three
+# counted runs each, plus the PR 3 stream-cache pair (suite construction
+# cold vs. warm). The first F1/F2/F9 iteration also pays the one-time
+# suite build (sync.Once); it is recorded separately as the "cold" sample
+# so the steady-state statistics are not skewed by it.
 #
 #   scripts/bench.sh [output.json] [baseline.json]
-#     default output:   BENCH_PR2.json
+#     default output:   BENCH_PR3.json
 #     default baseline: BENCH_PR1.json (skipped when absent)
+#
+# SHARELLC_BENCH_SCALE (default 1 = full size) scales the suite used by
+# the cold/warm construction benchmarks.
 #
 # After writing the output, the steady-state (minimum) ns/op of
 # BenchmarkF1SharedHitFraction4MB is compared against the baseline file;
@@ -17,16 +22,30 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR2.json}"
+OUT="${1:-BENCH_PR3.json}"
 BASELINE="${2:-BENCH_PR1.json}"
 BENCHES='^(BenchmarkF1SharedHitFraction4MB|BenchmarkF2SharedHitFraction8MB|BenchmarkF9SharingPhases)$'
+SUITE_BENCHES='^(BenchmarkSuiteBuildCold|BenchmarkSuiteBuildWarm)$'
+export SHARELLC_BENCH_SCALE="${SHARELLC_BENCH_SCALE:-1}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+SUITE_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$SUITE_RAW"' EXIT
 
 go test -bench "$BENCHES" -benchmem -count=3 -run '^$' -timeout 60m . | tee "$RAW" >&2
 
-awk -v out_start=1 '
-  BEGIN { print "{"; print "  \"benchmarks\": [" ; first = 1 }
+# The suite-construction pair runs in an isolated user cache dir so the
+# warm measurement only ever sees snapshots its own cold pass wrote.
+XDG_CACHE_HOME="$(mktemp -d)" \
+  go test -bench "$SUITE_BENCHES" -count=1 -run '^$' -timeout 60m \
+  ./internal/sim/streamcache | tee "$SUITE_RAW" >&2
+
+awk -v scale="$SHARELLC_BENCH_SCALE" '
+  function flush_bench(    i) {
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"sample\": \"%s\"}", \
+      name, ns, (bop == "" ? "null" : bop), (aop == "" ? "null" : aop), kind
+  }
   /^goos:/   { goos = $2 }
   /^goarch:/ { goarch = $2 }
   /^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
@@ -38,13 +57,37 @@ awk -v out_start=1 '
       if ($i == "B/op")      bop = $(i-1)
       if ($i == "allocs/op") aop = $(i-1)
     }
-    if (!first) printf ",\n"
-    first = 0
-    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bop, aop
+    if (ns == "") next
+    # The first counted run of each benchmark pays one-time costs (the
+    # shared suite build behind sync.Once); label it cold and keep the
+    # steady-state minimum over the remaining runs.
+    seen[name]++
+    kind = (seen[name] == 1 ? "cold" : "steady")
+    if (kind == "steady" && (!(name in steady) || ns + 0 < steady[name])) steady[name] = ns + 0
+    if (FILENAME == ARGV[1]) flush_bench()
+    if (name == "BenchmarkSuiteBuildCold") suite_cold = ns + 0
+    if (name == "BenchmarkSuiteBuildWarm") suite_warm = ns + 0
   }
+  BEGIN { print "{"; print "  \"benchmarks\": ["; first = 1 }
   END {
     print ""
     print "  ],"
+    print "  \"steady_state\": {"
+    sfirst = 1
+    for (n in steady) {
+      if (!sfirst) printf ",\n"
+      sfirst = 0
+      printf "    \"%s\": %g", n, steady[n]
+    }
+    print ""
+    print "  },"
+    printf "  \"suite_build\": {\"scale\": %s, ", scale
+    printf "\"cold_ns_per_op\": %s, \"warm_ns_per_op\": %s, ", \
+      (suite_cold == "" ? "null" : suite_cold), (suite_warm == "" ? "null" : suite_warm)
+    if (suite_cold != "" && suite_warm != "" && suite_warm > 0)
+      printf "\"warm_speedup\": %.2f},\n", suite_cold / suite_warm
+    else
+      printf "\"warm_speedup\": null},\n"
     printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\",\n", goos, goarch, cpu
     print "  \"seed_baseline\": {"
     print "    \"note\": \"steady-state BenchmarkF1SharedHitFraction4MB at the v0 seed commit (a6b47ae), same machine class\","
@@ -52,15 +95,19 @@ awk -v out_start=1 '
     print "  }"
     print "}"
   }
-' "$RAW" > "$OUT"
+' "$RAW" "$SUITE_RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
 
-# min_f1 FILE: the steady-state (minimum) ns_per_op recorded for
-# BenchmarkF1SharedHitFraction4MB in a bench JSON file.
+# min_f1 FILE: the steady-state ns_per_op for
+# BenchmarkF1SharedHitFraction4MB in a bench JSON file. New-format files
+# carry explicit "sample" labels (cold samples are excluded); older
+# baselines (BENCH_PR1/PR2) have unlabeled samples, where the minimum is
+# the steady state by construction.
 min_f1() {
   awk '
     /"name": "BenchmarkF1SharedHitFraction4MB"/ {
+      if (/"sample": "cold"/) next
       if (match($0, /"ns_per_op": [0-9.e+]+/)) {
         v = substr($0, RSTART + 13, RLENGTH - 13) + 0
         if (best == "" || v < best) best = v
