@@ -136,6 +136,22 @@ func BenchmarkF4PolicyComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkComparePoliciesSuite times the full-suite F4 sweep itself —
+// the table the fused multi-policy replay accelerates: one stream pass
+// per workload drives every catalogue policy lane at 4 MB. Tracked in
+// BENCH_PR4.json; the reported row count guards against silently
+// dropping cells while chasing speed.
+func BenchmarkComparePoliciesSuite(b *testing.B) {
+	s := fullSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.ComparePolicies(llc4MB, ways, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "rows")
+	}
+}
+
 // itoa is a terse strconv.Itoa alias for metric names.
 func itoa(v int) string { return strconv.Itoa(v) }
 

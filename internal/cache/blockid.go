@@ -15,22 +15,56 @@ package cache
 // two apart without a hash pass: an assigned stream with ≥ 2 distinct
 // blocks necessarily contains a nonzero ID.
 
+// IDGroupBits sets the granularity of the shard-major ID layout: blocks
+// are grouped by their low IDGroupBits block bits (the LLC set-index
+// bits that also pick a replay shard — see sharing.PartitionIndex), and
+// IDs are dense within each group. Any power-of-two shard count up to
+// 1<<IDGroupBits then owns a few contiguous ID ranges, so a shard
+// walk's per-block state (residency maps, next-use tables) touches
+// dense array slices instead of entries scattered across the whole
+// block population — first-touch numbering puts consecutive IDs in
+// different shards almost surely, wasting 15/16 of every cache line the
+// shard pulls. The sharded replay caps its shard count at 1<<IDGroupBits
+// to match (see blockShards in package sharing).
+const IDGroupBits = 8
+
 // AssignBlockIDs assigns each distinct block of stream a dense uint32 ID
-// in first-touch order and returns the number of distinct blocks. It is
-// the only per-stream hashing pass; every replay structure downstream
-// indexes flat slices by the IDs it produces.
+// and returns the number of distinct blocks. IDs are shard-major: grouped
+// by the low IDGroupBits block bits, first-touch order within a group
+// (deterministic, like everything in the pipeline). It is the only
+// per-stream hashing pass; every replay structure downstream indexes
+// flat slices by the IDs it produces.
 func AssignBlockIDs(stream []AccessInfo) int {
 	ids := make(map[uint64]uint32, 1<<16)
+	blocks := make([]uint64, 0, 1<<16) // distinct blocks, first-touch order
+	var counts [1 << IDGroupBits]uint32
 	for i := range stream {
 		b := stream[i].Block
-		id, ok := ids[b]
+		ord, ok := ids[b]
 		if !ok {
-			id = uint32(len(ids))
-			ids[b] = id
+			ord = uint32(len(blocks))
+			ids[b] = ord
+			blocks = append(blocks, b)
+			counts[b&(1<<IDGroupBits-1)]++
 		}
-		stream[i].BlockID = id
+		stream[i].BlockID = ord // provisional first-touch ordinal
 	}
-	return len(ids)
+	var next [1 << IDGroupBits]uint32 // group base, then allocation cursor
+	sum := uint32(0)
+	for g := range next {
+		next[g] = sum
+		sum += counts[g]
+	}
+	remap := make([]uint32, len(blocks))
+	for ord, b := range blocks {
+		g := b & (1<<IDGroupBits - 1)
+		remap[ord] = next[g]
+		next[g]++
+	}
+	for i := range stream {
+		stream[i].BlockID = remap[stream[i].BlockID]
+	}
+	return len(blocks)
 }
 
 // NumBlockIDs returns 1 + the largest BlockID in stream (0 for an empty

@@ -13,6 +13,7 @@ package cache
 import (
 	"fmt"
 
+	"sharellc/internal/mem"
 	"sharellc/internal/trace"
 )
 
@@ -59,6 +60,10 @@ const NoNextUse int64 = -1
 // the block is present, otherwise Victim to choose the way to evict from a
 // full set (the cache fills invalid ways itself without consulting the
 // policy) followed by Fill for the chosen way.
+//
+// AccessInfo is passed by pointer purely to keep the per-access cost of
+// these non-inlinable calls down; the record is read-only and must not
+// be retained or mutated past the call.
 type Policy interface {
 	// Name identifies the policy in reports, e.g. "lru" or "srrip".
 	Name() string
@@ -66,19 +71,42 @@ type Policy interface {
 	// It is called once before any other method.
 	Attach(sets, ways int)
 	// Hit records a hit on way in set.
-	Hit(set, way int, a AccessInfo)
+	Hit(set, way int, a *AccessInfo)
 	// Victim selects the way to evict from a full set.
-	Victim(set int, a AccessInfo) int
+	Victim(set int, a *AccessInfo) int
 	// Fill records that way in set was filled by a.
-	Fill(set, way int, a AccessInfo)
+	Fill(set, way int, a *AccessInfo)
 }
 
-// line is one cache way's bookkeeping.
-type line struct {
-	block uint64
-	valid bool
-	dirty bool
+// line packs one way's bookkeeping — block number, validity, dirtiness
+// — into a single word, so a whole 16-way set scans out of two cache
+// lines instead of the four a padded struct would occupy. Block numbers
+// are byte addresses >> trace.BlockShift and therefore never reach the
+// two flag bits.
+type line uint64
+
+const (
+	lineValid line = 1 << 63
+	lineDirty line = 1 << 62
+)
+
+// makeLine builds a valid line holding block.
+func makeLine(block uint64, dirty bool) line {
+	ln := line(block) | lineValid
+	if dirty {
+		ln |= lineDirty
+	}
+	return ln
 }
+
+func (ln line) valid() bool   { return ln&lineValid != 0 }
+func (ln line) dirty() bool   { return ln&lineDirty != 0 }
+func (ln line) block() uint64 { return uint64(ln &^ (lineValid | lineDirty)) }
+
+// tagOf is the value a valid, clean line holding block compares equal
+// to; matching `ln &^ lineDirty == tagOf(block)` tests validity and tag
+// in one compare.
+func tagOf(block uint64) line { return line(block) | lineValid }
 
 // SetAssoc is a set-associative cache with a pluggable replacement policy.
 // It is the building block for both the shared LLC and, with an internal
@@ -87,7 +115,8 @@ type SetAssoc struct {
 	sets   int
 	ways   int
 	mask   uint64
-	lines  []line // sets*ways, row-major by set
+	lines  []line   // sets*ways, row-major by set
+	valid  []uint16 // per-set count of valid lines; == ways means full
 	policy Policy
 
 	// Counters.
@@ -130,11 +159,14 @@ func NewSetAssoc(sizeBytes, ways int, policy Policy) (*SetAssoc, error) {
 		return nil, fmt.Errorf("cache: nil policy")
 	}
 	policy.Attach(sets, ways)
+	lines := make([]line, sets*ways)
+	mem.Hugepages(lines) // tag array is hit at a random set every access
 	return &SetAssoc{
 		sets:   sets,
 		ways:   ways,
 		mask:   uint64(sets - 1),
-		lines:  make([]line, sets*ways),
+		lines:  lines,
+		valid:  make([]uint16, sets),
 		policy: policy,
 	}, nil
 }
@@ -169,8 +201,9 @@ type Result struct {
 func (c *SetAssoc) Probe(block uint64) bool {
 	set := c.SetOf(block)
 	base := set * c.ways
+	want := tagOf(block)
 	for w := 0; w < c.ways; w++ {
-		if ln := &c.lines[base+w]; ln.valid && ln.block == block {
+		if c.lines[base+w]&^lineDirty == want {
 			return true
 		}
 	}
@@ -180,25 +213,32 @@ func (c *SetAssoc) Probe(block uint64) bool {
 // Access presents one reference to the cache: on a miss the block is
 // filled (allocate-on-write as well as read), evicting a victim if the set
 // is full.
-func (c *SetAssoc) Access(a AccessInfo) Result {
+func (c *SetAssoc) Access(a AccessInfo) Result { return c.AccessRef(&a) }
+
+// AccessRef is Access without the argument copy. The replay walks present
+// hundreds of millions of stream records per pass and the record is
+// read-only to the cache, so hot loops pass a pointer straight into the
+// stream slice instead of moving the multi-word struct per call.
+func (c *SetAssoc) AccessRef(a *AccessInfo) Result {
 	c.accesses++
 	set := c.SetOf(a.Block)
 	base := set * c.ways
 	// One pass over the set finds both the hit way and the first invalid
 	// way (the fill target should the lookup miss).
 	way := -1
+	want := tagOf(a.Block)
 	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[base+w]
-		if !ln.valid {
+		ln := c.lines[base+w]
+		if !ln.valid() {
 			if way < 0 {
 				way = w
 			}
 			continue
 		}
-		if ln.block == a.Block {
+		if ln&^lineDirty == want {
 			c.hits++
 			if a.Write {
-				ln.dirty = true
+				c.lines[base+w] = ln | lineDirty
 			}
 			c.policy.Hit(set, w, a)
 			return Result{Hit: true, Set: set, Way: w}
@@ -206,17 +246,63 @@ func (c *SetAssoc) Access(a AccessInfo) Result {
 	}
 	res := Result{Set: set}
 	if way < 0 {
-		way = c.policy.Victim(set, a)
-		if way < 0 || way >= c.ways {
-			panic(fmt.Sprintf("cache: policy %s returned victim way %d outside [0,%d)", c.policy.Name(), way, c.ways))
-		}
-		v := &c.lines[base+way]
-		res.Evicted = true
-		res.Victim = v.block
-		res.VictimDirty = v.dirty
-		c.evicts++
+		way = c.victim(set, base, &res, a)
+	} else {
+		c.valid[set]++
 	}
-	c.lines[base+way] = line{block: a.Block, valid: true, dirty: a.Write}
+	c.lines[base+way] = makeLine(a.Block, a.Write)
+	c.fills++
+	c.policy.Fill(set, way, a)
+	res.Way = way
+	return res
+}
+
+// victim runs the eviction half of a fill on a full set: policy choice,
+// victim bookkeeping into res, eviction counters.
+func (c *SetAssoc) victim(set, base int, res *Result, a *AccessInfo) int {
+	way := c.policy.Victim(set, a)
+	if way < 0 || way >= c.ways {
+		panic(fmt.Sprintf("cache: policy %s returned victim way %d outside [0,%d)", c.policy.Name(), way, c.ways))
+	}
+	v := c.lines[base+way]
+	res.Evicted = true
+	res.Victim = v.block()
+	res.VictimDirty = v.dirty()
+	c.evicts++
+	return way
+}
+
+// FillRef is the miss half of AccessRef for callers that already know
+// the block is absent: the residency trackers mirror the cache's
+// contents exactly (see sharing.replayState), so when their block table
+// reports a miss the tag scan would only re-confirm it. Once the set is
+// full — the steady state of every replay — the scan is skipped
+// entirely and the access goes straight to the victim choice; until
+// then only the invalid-way search runs. The fill itself is identical
+// to AccessRef's miss path (first invalid way in scan order, else the
+// policy's victim).
+func (c *SetAssoc) FillRef(a *AccessInfo) Result {
+	c.accesses++
+	set := c.SetOf(a.Block)
+	base := set * c.ways
+	res := Result{Set: set}
+	var way int
+	if int(c.valid[set]) == c.ways {
+		way = c.victim(set, base, &res, a)
+	} else {
+		way = -1
+		for w := 0; w < c.ways; w++ {
+			if !c.lines[base+w].valid() {
+				way = w
+				break
+			}
+		}
+		if way < 0 {
+			panic("cache: set valid count below ways but no invalid way")
+		}
+		c.valid[set]++
+	}
+	c.lines[base+way] = makeLine(a.Block, a.Write)
 	c.fills++
 	c.policy.Fill(set, way, a)
 	res.Way = way
@@ -229,12 +315,12 @@ func (c *SetAssoc) Access(a AccessInfo) Result {
 func (c *SetAssoc) Invalidate(block uint64) (present, dirty bool) {
 	set := c.SetOf(block)
 	base := set * c.ways
+	want := tagOf(block)
 	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.block == block {
-			present, dirty = true, ln.dirty
-			*ln = line{}
-			return present, dirty
+		if ln := c.lines[base+w]; ln&^lineDirty == want {
+			c.lines[base+w] = 0
+			c.valid[set]--
+			return true, ln.dirty()
 		}
 	}
 	return false, false
@@ -250,14 +336,14 @@ func (c *SetAssoc) Stats() (accesses, hits, fills, evicts uint64) {
 func (c *SetAssoc) Contents() []uint64 {
 	n := 0
 	for i := range c.lines {
-		if c.lines[i].valid {
+		if c.lines[i].valid() {
 			n++
 		}
 	}
 	out := make([]uint64, 0, n)
 	for i := range c.lines {
-		if c.lines[i].valid {
-			out = append(out, c.lines[i].block)
+		if c.lines[i].valid() {
+			out = append(out, c.lines[i].block())
 		}
 	}
 	return out

@@ -219,7 +219,7 @@ func TestLRUStackPosition(t *testing.T) {
 	p := NewLRU()
 	p.Attach(1, 4)
 	for w := 0; w < 4; w++ {
-		p.Fill(0, w, AccessInfo{})
+		p.Fill(0, w, &AccessInfo{})
 	}
 	// Order of recency now: way3 (MRU) ... way0 (LRU).
 	if got := p.StackPosition(0, 3); got != 0 {
@@ -228,7 +228,7 @@ func TestLRUStackPosition(t *testing.T) {
 	if got := p.StackPosition(0, 0); got != 3 {
 		t.Errorf("way 0 stack position = %d, want 3 (LRU)", got)
 	}
-	p.Hit(0, 0, AccessInfo{})
+	p.Hit(0, 0, &AccessInfo{})
 	if got := p.StackPosition(0, 0); got != 0 {
 		t.Errorf("after hit, way 0 stack position = %d, want 0", got)
 	}
@@ -257,11 +257,11 @@ func TestLRUDemote(t *testing.T) {
 	p := NewLRU()
 	p.Attach(1, 4)
 	for w := 0; w < 4; w++ {
-		p.Fill(0, w, AccessInfo{})
+		p.Fill(0, w, &AccessInfo{})
 	}
 	// Way 3 is MRU; demoting it makes it the victim.
 	p.Demote(0, 3)
-	if v := p.Victim(0, AccessInfo{}); v != 3 {
+	if v := p.Victim(0, &AccessInfo{}); v != 3 {
 		t.Errorf("victim after Demote = %d, want 3", v)
 	}
 	if p.Name() != "lru" {

@@ -1,5 +1,7 @@
 package cache
 
+import "sharellc/internal/mem"
+
 // LRU is the classic least-recently-used replacement policy, implemented
 // with per-set recency timestamps. It serves as the baseline policy of the
 // paper and as the fixed policy of the private cache levels.
@@ -23,18 +25,19 @@ func (p *LRU) Name() string { return "lru" }
 func (p *LRU) Attach(sets, ways int) {
 	p.ways = ways
 	p.stamp = make([]uint64, sets*ways)
+	mem.Hugepages(p.stamp)
 	// Start well above zero so Demote's min-1 arithmetic cannot wrap.
 	p.clock = 1 << 32
 }
 
 // Hit implements Policy.
-func (p *LRU) Hit(set, way int, _ AccessInfo) { p.touch(set, way) }
+func (p *LRU) Hit(set, way int, _ *AccessInfo) { p.touch(set, way) }
 
 // Fill implements Policy.
-func (p *LRU) Fill(set, way int, _ AccessInfo) { p.touch(set, way) }
+func (p *LRU) Fill(set, way int, _ *AccessInfo) { p.touch(set, way) }
 
 // Victim implements Policy: the way with the smallest stamp.
-func (p *LRU) Victim(set int, _ AccessInfo) int {
+func (p *LRU) Victim(set int, _ *AccessInfo) int {
 	base := set * p.ways
 	victim, min := 0, p.stamp[base]
 	for w := 1; w < p.ways; w++ {

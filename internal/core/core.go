@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"sharellc/internal/cache"
+	"sharellc/internal/mem"
 )
 
 // Strength selects how aggressively the wrapper acts on sharing hints.
@@ -97,7 +98,7 @@ type Options struct {
 // VictimRanker mirrors policy.VictimRanker (declared here too so that core
 // does not import the catalogue; any policy implementing the method works).
 type VictimRanker interface {
-	RankVictims(set int, a cache.AccessInfo) []int
+	RankVictims(set int, a *cache.AccessInfo) []int
 }
 
 // Demoter is implemented by base policies that can move a line to their
@@ -206,6 +207,7 @@ func (p *Protector) Attach(sets, ways int) {
 	p.base.Attach(sets, ways)
 	p.ways = ways
 	p.lines = make([]line, sets*ways)
+	mem.Hugepages(p.lines)
 	p.period = duelPeriod
 	if sets < p.period {
 		p.period = sets
@@ -270,7 +272,7 @@ func (p *Protector) observeMiss(set int) {
 
 // Hit implements cache.Policy: delegate, then check whether the hit
 // fulfils a pending protection.
-func (p *Protector) Hit(set, way int, a cache.AccessInfo) {
+func (p *Protector) Hit(set, way int, a *cache.AccessInfo) {
 	p.base.Hit(set, way, a)
 	ln := &p.lines[set*p.ways+way]
 	if ln.protected && a.Core != ln.fillCore {
@@ -285,7 +287,7 @@ func (p *Protector) Hit(set, way int, a cache.AccessInfo) {
 }
 
 // Victim implements cache.Policy.
-func (p *Protector) Victim(set int, a cache.AccessInfo) int {
+func (p *Protector) Victim(set int, a *cache.AccessInfo) int {
 	if p.opts.Strength < Full || !p.aware(set) {
 		return p.base.Victim(set, a)
 	}
@@ -384,7 +386,7 @@ func (p *Protector) demoteActive() bool {
 
 // Fill implements cache.Policy: delegate, then promote and mark protected
 // when the fill carries a shared hint.
-func (p *Protector) Fill(set, way int, a cache.AccessInfo) {
+func (p *Protector) Fill(set, way int, a *cache.AccessInfo) {
 	p.base.Fill(set, way, a)
 	p.observeMiss(set)
 	p.fillsSeen++

@@ -214,8 +214,8 @@ func TestClearOnFulfil(t *testing.T) {
 
 func TestSameCoreHitDoesNotFulfil(t *testing.T) {
 	_, p := protCache(t, Options{Strength: Full, NoDemote: true})
-	p.Fill(0, 0, cache.AccessInfo{Block: 9, PredictedShared: true, Core: 2})
-	p.Hit(0, 0, cache.AccessInfo{Block: 9, Core: 2})
+	p.Fill(0, 0, &cache.AccessInfo{Block: 9, PredictedShared: true, Core: 2})
+	p.Hit(0, 0, &cache.AccessInfo{Block: 9, Core: 2})
 	if p.Stats().Fulfilled != 0 {
 		t.Error("same-core hit counted as fulfilment")
 	}
@@ -261,9 +261,9 @@ type fixedVictim struct{ ways int }
 
 func (f *fixedVictim) Name() string                     { return "fixed" }
 func (f *fixedVictim) Attach(_, ways int)               { f.ways = ways }
-func (f *fixedVictim) Hit(int, int, cache.AccessInfo)   {}
-func (f *fixedVictim) Fill(int, int, cache.AccessInfo)  {}
-func (f *fixedVictim) Victim(int, cache.AccessInfo) int { return 0 }
+func (f *fixedVictim) Hit(int, int, *cache.AccessInfo)   {}
+func (f *fixedVictim) Fill(int, int, *cache.AccessInfo)  {}
+func (f *fixedVictim) Victim(int, *cache.AccessInfo) int { return 0 }
 
 func TestFallbackWithoutRanking(t *testing.T) {
 	p := NewProtectorOpts(&fixedVictim{}, Options{Strength: Full})
@@ -292,7 +292,7 @@ type evictCounter struct {
 	evicts int
 }
 
-func (e *evictCounter) RankVictims(set int, _ cache.AccessInfo) []int {
+func (e *evictCounter) RankVictims(set int, _ *cache.AccessInfo) []int {
 	ways := e.Ways()
 	rank := make([]int, ways)
 	for i := range rank {
@@ -370,7 +370,7 @@ func TestDuelRolesAndHysteresis(t *testing.T) {
 	// followers flip to sharing-aware.
 	bLeader := duelPeriod/2 + 1
 	for i := 0; i < pselMax; i++ {
-		p.Fill(bLeader, 0, cache.AccessInfo{})
+		p.Fill(bLeader, 0, &cache.AccessInfo{})
 	}
 	if !p.aware(1) {
 		t.Error("followers did not adopt sharing-aware after B losses")
@@ -381,7 +381,7 @@ func TestDuelRolesAndHysteresis(t *testing.T) {
 	}
 	// A-leader misses drive PSEL back up → followers revert.
 	for i := 0; i < pselMax; i++ {
-		p.Fill(0, 0, cache.AccessInfo{})
+		p.Fill(0, 0, &cache.AccessInfo{})
 	}
 	if p.aware(1) {
 		t.Error("followers did not revert to base after A losses")
@@ -402,13 +402,13 @@ func TestGateDecays(t *testing.T) {
 	p := NewProtectorOpts(cache.NewLRU(), Options{Strength: Full})
 	p.Attach(1, 4)
 	// One hinted fill activates the gate...
-	p.Fill(0, 0, cache.AccessInfo{PredictedShared: true})
+	p.Fill(0, 0, &cache.AccessInfo{PredictedShared: true})
 	if !p.demoteActive() {
 		t.Fatal("gate inactive after hinted fill")
 	}
 	// ...but a long run of unhinted fills deactivates it again.
 	for i := 0; i < 2*gateWindow; i++ {
-		p.Fill(0, 1, cache.AccessInfo{})
+		p.Fill(0, 1, &cache.AccessInfo{})
 	}
 	if p.demoteActive() {
 		t.Error("gate still active after hint-free window")

@@ -1,0 +1,96 @@
+//go:build linux
+
+// Package mem provides best-effort memory-placement hints for the large
+// flat arrays of the replay engine.
+//
+// The replay's throughput is bound by dependent loads at random indices
+// into multi-megabyte arrays (residency trackers, tag arrays, per-block
+// maps). On 4 KiB pages those arrays span thousands of TLB entries —
+// far beyond the second-level dTLB — so a large share of the loads pays
+// a page walk on top of the cache miss, and under virtualization each
+// walk is a nested (two-dimensional) one. Backing the arrays with 2 MiB
+// transparent huge pages cuts the entry count by 512×.
+//
+// The Go runtime does not madvise its heap, so under the kernel's
+// default "madvise" THP policy a Go process runs entirely on small
+// pages. Hugepages opts individual allocations in after the fact:
+// MADV_HUGEPAGE marks the range eligible and MADV_COLLAPSE (Linux 6.1+)
+// synchronously collapses already-faulted small pages in place. Both are
+// strictly hints — on kernels without MADV_COLLAPSE, or with THP
+// disabled, the calls fail and the program runs exactly as before, just
+// on small pages. No result of any computation ever depends on them.
+package mem
+
+import (
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+const (
+	madvHugepage = 14      // MADV_HUGEPAGE
+	madvCollapse = 25      // MADV_COLLAPSE, Linux 6.1+
+	hugeSize     = 2 << 20 // x86-64 PMD huge page
+
+	prSetTHPDisable = 41 // PR_SET_THP_DISABLE
+
+	// minHugify is the smallest slice worth the madvise round trips.
+	// Arrays below it fit a handful of TLB entries anyway.
+	minHugify = 64 << 10
+)
+
+// enableTHP clears the process's PR_SET_THP_DISABLE flag once. Container
+// runtimes and init systems commonly set the flag (it is inherited across
+// fork/exec), and while it is set every THP path — fault-time allocation
+// and MADV_COLLAPSE alike — is silently dead, no matter what the sysfs
+// policy says. Clearing it is unprivileged and affects only this process.
+var enableTHP = sync.OnceFunc(func() {
+	syscall.Syscall(syscall.SYS_PRCTL, prSetTHPDisable, 0, 0)
+})
+
+// Hugepages asks the kernel to back s's memory with transparent huge
+// pages, best effort. It first tries the outward-aligned huge-page range
+// covering the whole slice — neighbouring heap memory inside the same
+// 2 MiB regions is collapsed along with it, which is harmless (the pages
+// stay transparent) and usually desirable (adjacent allocations are
+// typically the same replay's other arrays). If that fails (e.g. the
+// range leaves the mapped heap arena), it falls back to the huge-page
+// regions fully interior to the slice. Errors are ignored throughout:
+// this is a hint, never a dependency.
+func Hugepages[T any](s []T) {
+	if len(s) == 0 {
+		return
+	}
+	var zero T
+	elem := unsafe.Sizeof(zero)
+	size := uintptr(len(s)) * elem
+	if size < minHugify {
+		return
+	}
+	enableTHP()
+	addr := uintptr(unsafe.Pointer(unsafe.SliceData(s)))
+	lo := addr &^ (hugeSize - 1)
+	hi := (addr + size + hugeSize - 1) &^ (hugeSize - 1)
+	if !advise(lo, hi-lo) {
+		lo = (addr + hugeSize - 1) &^ (hugeSize - 1)
+		hi = (addr + size) &^ (hugeSize - 1)
+		if hi > lo {
+			advise(lo, hi-lo)
+		}
+	}
+	runtime.KeepAlive(s)
+}
+
+// advise marks [addr, addr+n) huge-page eligible and collapses it,
+// reporting whether both calls succeeded.
+func advise(addr, n uintptr) bool {
+	if n == 0 {
+		return true
+	}
+	if _, _, e := syscall.Syscall(syscall.SYS_MADVISE, addr, n, madvHugepage); e != 0 {
+		return false
+	}
+	_, _, e := syscall.Syscall(syscall.SYS_MADVISE, addr, n, madvCollapse)
+	return e == 0
+}

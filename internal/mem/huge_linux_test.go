@@ -1,0 +1,57 @@
+//go:build linux
+
+package mem
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// anonHugeKB parses AnonHugePages from the process's smaps rollup.
+func anonHugeKB(t *testing.T) int {
+	t.Helper()
+	b, err := os.ReadFile("/proc/self/smaps_rollup")
+	if err != nil {
+		t.Skipf("no smaps_rollup: %v", err)
+	}
+	for _, l := range strings.Split(string(b), "\n") {
+		if f := strings.Fields(l); len(f) == 3 && f[0] == "AnonHugePages:" {
+			kb, _ := strconv.Atoi(f[1])
+			return kb
+		}
+	}
+	t.Skip("no AnonHugePages line")
+	return 0
+}
+
+// TestHugepagesBestEffort exercises Hugepages on an already-faulted
+// slice. The call is a hint, so the test only fails when the hint is
+// demonstrably broken on a machine where THP is known to work: if the
+// kernel reports zero huge pages before AND after, THP is unavailable
+// here (disabled policy, old kernel) and the test skips.
+func TestHugepagesBestEffort(t *testing.T) {
+	s := make([]uint64, (32<<20)/8)
+	for i := 0; i < len(s); i += 512 {
+		s[i] = 1 // fault every small page
+	}
+	before := anonHugeKB(t)
+	Hugepages(s)
+	after := anonHugeKB(t)
+	t.Logf("AnonHugePages: %d kB -> %d kB", before, after)
+	if after == 0 && before == 0 {
+		t.Skip("THP unavailable on this machine; hint had no observable effect")
+	}
+	if after < before {
+		t.Fatalf("AnonHugePages shrank after Hugepages: %d -> %d kB", before, after)
+	}
+}
+
+// TestHugepagesDegenerate makes sure the degenerate inputs never panic.
+func TestHugepagesDegenerate(t *testing.T) {
+	Hugepages([]byte(nil))
+	Hugepages(make([]byte, 1))
+	Hugepages(make([]struct{}, 1<<20))
+	Hugepages(make([]uint64, minHugify/8)) // exactly at threshold
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package mem
+
+// Hugepages is a no-op outside Linux: transparent-huge-page madvise is a
+// Linux interface, and the hint is never a dependency of any result.
+func Hugepages[T any](s []T) {}

@@ -132,3 +132,86 @@ func RunHorizonShards(ctx context.Context, stream []cache.AccessInfo, llcSize, l
 	}
 	return &Result{Base: base, Oracle: orc, Stats: prot.Stats()}, nil
 }
+
+// hintHook builds the pass-2 fill-time oracle hook for one horizon: the
+// hints are a pure trace property, so one slice serves every policy lane
+// at the same horizon.
+func hintHook(stream []cache.AccessInfo, llcSize int, horizonFactor int) sharing.Hooks {
+	horizon := int64(horizonFactor) * int64(llcSize/trace.BlockSize)
+	hints := SharedHints(stream, horizon)
+	return sharing.Hooks{PredictShared: func(a cache.AccessInfo) bool { return hints[a.Index] }}
+}
+
+// protectedLane builds the pass-2 lane for one base-policy factory,
+// stashing the protector so its intervention counters can be read after
+// the fused replay. Hook lanes call NewPolicy exactly once (the
+// LLCConfig contract), so the stash is filled exactly once.
+func protectedLane(llcSize, llcWays int, newPolicy func() cache.Policy, opts core.Options, hooks sharing.Hooks, stash **core.Protector) sharing.LLCConfig {
+	return sharing.LLCConfig{Size: llcSize, Ways: llcWays, Hooks: hooks,
+		NewPolicy: func() cache.Policy {
+			p := core.NewProtectorOpts(newPolicy(), opts)
+			*stash = p
+			return p
+		}}
+}
+
+// RunMultiPolicies runs the two-pass oracle study for every base-policy
+// factory in one fused replay over the stream: 2n lanes (n bare pass-1
+// lanes plus n protected pass-2 lanes) share the stream walk, and the
+// sharing hints are computed once — they are a trace property, identical
+// for every policy at the same horizon. Results are returned in factory
+// order, each bit-identical to RunHorizonShards for that factory alone.
+// ropt carries the replay tuning (Shards, Partitioner, NumBlocks — see
+// sharing.Options); its Ctx and Hooks fields are overridden (ctx and the
+// per-lane oracle hooks).
+func RunMultiPolicies(ctx context.Context, stream []cache.AccessInfo, llcSize, llcWays int, factories []func() cache.Policy, opts core.Options, horizonFactor int, ropt sharing.Options) ([]*Result, error) {
+	if horizonFactor < 1 {
+		return nil, fmt.Errorf("oracle: horizon factor %d < 1", horizonFactor)
+	}
+	n := len(factories)
+	hooks := hintHook(stream, llcSize, horizonFactor)
+	configs := make([]sharing.LLCConfig, 2*n)
+	prots := make([]*core.Protector, n)
+	for i, f := range factories {
+		configs[i] = sharing.LLCConfig{Size: llcSize, Ways: llcWays, NewPolicy: f}
+		configs[n+i] = protectedLane(llcSize, llcWays, f, opts, hooks, &prots[i])
+	}
+	ropt.Ctx, ropt.Hooks = ctx, sharing.Hooks{}
+	results, err := sharing.ReplayMulti(stream, configs, ropt)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: fused study: %w", err)
+	}
+	out := make([]*Result, n)
+	for i := range out {
+		out[i] = &Result{Base: results[i], Oracle: results[n+i], Stats: prots[i].Stats()}
+	}
+	return out, nil
+}
+
+// RunMultiHorizons sweeps the sharing horizon for one base policy in one
+// fused replay: a single bare pass-1 lane plus one protected lane per
+// horizon factor. The returned results (one per factor, in order) share
+// the same Base, and each matches RunHorizonShards at that factor. ropt
+// is treated exactly as in RunMultiPolicies.
+func RunMultiHorizons(ctx context.Context, stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() cache.Policy, opts core.Options, factors []int, ropt sharing.Options) ([]*Result, error) {
+	n := len(factors)
+	configs := make([]sharing.LLCConfig, n+1)
+	configs[0] = sharing.LLCConfig{Size: llcSize, Ways: llcWays, NewPolicy: newPolicy}
+	prots := make([]*core.Protector, n)
+	for i, f := range factors {
+		if f < 1 {
+			return nil, fmt.Errorf("oracle: horizon factor %d < 1", f)
+		}
+		configs[i+1] = protectedLane(llcSize, llcWays, newPolicy, opts, hintHook(stream, llcSize, f), &prots[i])
+	}
+	ropt.Ctx, ropt.Hooks = ctx, sharing.Hooks{}
+	results, err := sharing.ReplayMulti(stream, configs, ropt)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: fused horizon sweep: %w", err)
+	}
+	out := make([]*Result, n)
+	for i := range out {
+		out[i] = &Result{Base: results[0], Oracle: results[i+1], Stats: prots[i].Stats()}
+	}
+	return out, nil
+}

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"sharellc/internal/cache"
+	"sharellc/internal/mem"
 )
 
 // OPT is Belady's offline-optimal replacement policy: evict the resident
@@ -28,6 +29,7 @@ func (p *OPT) Name() string { return "opt" }
 func (p *OPT) Attach(sets, ways int) {
 	p.ways = ways
 	p.nextUse = make([]int64, sets*ways)
+	mem.Hugepages(p.nextUse)
 	for i := range p.nextUse {
 		p.nextUse[i] = cache.NoNextUse
 	}
@@ -35,18 +37,18 @@ func (p *OPT) Attach(sets, ways int) {
 
 // Hit implements cache.Policy: the line's horizon advances to the
 // access's own next use.
-func (p *OPT) Hit(set, way int, a cache.AccessInfo) {
+func (p *OPT) Hit(set, way int, a *cache.AccessInfo) {
 	p.nextUse[set*p.ways+way] = a.NextUse
 }
 
 // Fill implements cache.Policy.
-func (p *OPT) Fill(set, way int, a cache.AccessInfo) {
+func (p *OPT) Fill(set, way int, a *cache.AccessInfo) {
 	p.nextUse[set*p.ways+way] = a.NextUse
 }
 
 // Victim implements cache.Policy: farthest next use wins; never-reused
 // lines (NoNextUse) beat everything. Ties go to the lowest way.
-func (p *OPT) Victim(set int, _ cache.AccessInfo) int {
+func (p *OPT) Victim(set int, _ *cache.AccessInfo) int {
 	base := set * p.ways
 	victim, best := 0, p.horizonAt(base)
 	for w := 1; w < p.ways; w++ {
@@ -58,7 +60,7 @@ func (p *OPT) Victim(set int, _ cache.AccessInfo) int {
 }
 
 // RankVictims implements VictimRanker: farthest next use first.
-func (p *OPT) RankVictims(set int, _ cache.AccessInfo) []int {
+func (p *OPT) RankVictims(set int, _ *cache.AccessInfo) []int {
 	base := set * p.ways
 	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
 		return p.horizonAt(base + w)

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"sharellc/internal/cache"
+	"sharellc/internal/mem"
 )
 
 // PLRU is tree-based pseudo-LRU, the approximation of LRU that commercial
@@ -38,6 +39,7 @@ func (p *PLRU) Attach(sets, ways int) {
 	p.ways = ways
 	p.levels = bits.TrailingZeros(uint(ways))
 	p.tree = make([]uint64, sets)
+	mem.Hugepages(p.tree)
 }
 
 // touch flips every tree node on the path to way so the path points away
@@ -61,10 +63,10 @@ func (p *PLRU) touch(set, way int) {
 }
 
 // Hit implements cache.Policy.
-func (p *PLRU) Hit(set, way int, _ cache.AccessInfo) { p.touch(set, way) }
+func (p *PLRU) Hit(set, way int, _ *cache.AccessInfo) { p.touch(set, way) }
 
 // Fill implements cache.Policy.
-func (p *PLRU) Fill(set, way int, _ cache.AccessInfo) { p.touch(set, way) }
+func (p *PLRU) Fill(set, way int, _ *cache.AccessInfo) { p.touch(set, way) }
 
 // Promote implements core.Promoter.
 func (p *PLRU) Promote(set, way int) { p.touch(set, way) }
@@ -91,7 +93,7 @@ func (p *PLRU) Demote(set, way int) {
 
 // Victim implements cache.Policy: follow the direction bits from the root
 // (bit set = go right).
-func (p *PLRU) Victim(set int, _ cache.AccessInfo) int {
+func (p *PLRU) Victim(set int, _ *cache.AccessInfo) int {
 	node, way := 0, 0
 	for level := 0; level < p.levels; level++ {
 		if p.tree[set]>>node&1 == 1 {
@@ -108,7 +110,7 @@ func (p *PLRU) Victim(set int, _ cache.AccessInfo) int {
 // RankVictims implements VictimRanker: ways ordered by how many direction
 // bits along their path currently point at them (victim path first). Ties
 // break by way index.
-func (p *PLRU) RankVictims(set int, _ cache.AccessInfo) []int {
+func (p *PLRU) RankVictims(set int, _ *cache.AccessInfo) []int {
 	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
 		score := int64(0)
 		node := 0

@@ -26,8 +26,8 @@ func TestPLRUDirectMapped(t *testing.T) {
 	// 1-way PLRU degenerates to "always way 0" and must not panic.
 	p := NewPLRU()
 	p.Attach(4, 1)
-	p.Fill(0, 0, cache.AccessInfo{})
-	if v := p.Victim(0, cache.AccessInfo{}); v != 0 {
+	p.Fill(0, 0, &cache.AccessInfo{})
+	if v := p.Victim(0, &cache.AccessInfo{}); v != 0 {
 		t.Errorf("victim = %d", v)
 	}
 }
@@ -42,9 +42,9 @@ func TestPLRUVictimNeverMostRecent(t *testing.T) {
 		last := -1
 		for i := 0; i < 500; i++ {
 			w := rnd.Intn(8)
-			p.Hit(0, w, cache.AccessInfo{})
+			p.Hit(0, w, &cache.AccessInfo{})
 			last = w
-			if p.Victim(0, cache.AccessInfo{}) == last {
+			if p.Victim(0, &cache.AccessInfo{}) == last {
 				return false
 			}
 		}
@@ -111,11 +111,11 @@ func TestPLRUDemotePointsVictim(t *testing.T) {
 	p := NewPLRU()
 	p.Attach(1, 8)
 	for w := 0; w < 8; w++ {
-		p.Fill(0, w, cache.AccessInfo{})
+		p.Fill(0, w, &cache.AccessInfo{})
 	}
 	for w := 0; w < 8; w++ {
 		p.Demote(0, w)
-		if v := p.Victim(0, cache.AccessInfo{}); v != w {
+		if v := p.Victim(0, &cache.AccessInfo{}); v != w {
 			t.Errorf("after Demote(%d) victim = %d", w, v)
 		}
 	}
@@ -126,11 +126,11 @@ func TestPLRURankHeadMatchesVictim(t *testing.T) {
 	p.Attach(2, 8)
 	rnd := rng.New(3)
 	for i := 0; i < 1000; i++ {
-		p.Hit(rnd.Intn(2), rnd.Intn(8), cache.AccessInfo{})
+		p.Hit(rnd.Intn(2), rnd.Intn(8), &cache.AccessInfo{})
 		for set := 0; set < 2; set++ {
-			rank := p.RankVictims(set, cache.AccessInfo{})
-			if rank[0] != p.Victim(set, cache.AccessInfo{}) {
-				t.Fatalf("rank head %d != victim %d", rank[0], p.Victim(set, cache.AccessInfo{}))
+			rank := p.RankVictims(set, &cache.AccessInfo{})
+			if rank[0] != p.Victim(set, &cache.AccessInfo{}) {
+				t.Fatalf("rank head %d != victim %d", rank[0], p.Victim(set, &cache.AccessInfo{}))
 			}
 		}
 	}

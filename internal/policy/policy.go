@@ -21,7 +21,7 @@ import (
 // from most-preferred victim to least-preferred. The returned slice has
 // one entry per way and is valid until the next call.
 type VictimRanker interface {
-	RankVictims(set int, a cache.AccessInfo) []int
+	RankVictims(set int, a *cache.AccessInfo) []int
 }
 
 // Factory constructs a fresh policy instance. Policies carry per-cache

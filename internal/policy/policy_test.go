@@ -100,7 +100,7 @@ func TestRankVictimsIsPermutation(t *testing.T) {
 				c.Access(cache.AccessInfo{Block: rnd.Uint64n(256), PC: rnd.Uint64() & 0xFFFF})
 			}
 			for set := 0; set < 4; set++ {
-				rank := r.RankVictims(set, cache.AccessInfo{})
+				rank := r.RankVictims(set, &cache.AccessInfo{})
 				if len(rank) != ways {
 					t.Fatalf("%s: rank has %d entries, want %d", name, len(rank), ways)
 				}
@@ -134,9 +134,9 @@ func TestRankVictimsHeadAgreesWithVictim(t *testing.T) {
 		}
 		r := p.(VictimRanker)
 		for set := 0; set < 4; set++ {
-			rank := r.RankVictims(set, cache.AccessInfo{})
+			rank := r.RankVictims(set, &cache.AccessInfo{})
 			// NRU's Victim can mutate state (mass clear); call it last.
-			v := p.Victim(set, cache.AccessInfo{})
+			v := p.Victim(set, &cache.AccessInfo{})
 			if rank[0] != v {
 				t.Errorf("%s set %d: RankVictims head %d != Victim %d", name, set, rank[0], v)
 			}
@@ -171,16 +171,16 @@ func TestNRUVictimPrefersColdBit(t *testing.T) {
 	p := NewNRU()
 	p.Attach(1, 4)
 	for w := 0; w < 4; w++ {
-		p.Fill(0, w, cache.AccessInfo{})
+		p.Fill(0, w, &cache.AccessInfo{})
 	}
 	// All bits set: Victim clears the set and returns way 0.
-	if v := p.Victim(0, cache.AccessInfo{}); v != 0 {
+	if v := p.Victim(0, &cache.AccessInfo{}); v != 0 {
 		t.Fatalf("saturated-set victim = %d, want 0", v)
 	}
 	// Now all bits are clear; touch way 0 and 1, victim must be 2.
-	p.Hit(0, 0, cache.AccessInfo{})
-	p.Hit(0, 1, cache.AccessInfo{})
-	if v := p.Victim(0, cache.AccessInfo{}); v != 2 {
+	p.Hit(0, 0, &cache.AccessInfo{})
+	p.Hit(0, 1, &cache.AccessInfo{})
+	if v := p.Victim(0, &cache.AccessInfo{}); v != 2 {
 		t.Errorf("victim = %d, want 2 (first clear bit)", v)
 	}
 }
@@ -337,19 +337,19 @@ func TestSHiPLearnsDeadPC(t *testing.T) {
 	// Train the dead PC: keep set 0 full of dead-PC fills and let the
 	// victim search evict them unused, decrementing the signature.
 	for w := 0; w < 4; w++ {
-		p.Fill(0, w, cache.AccessInfo{PC: deadPC})
+		p.Fill(0, w, &cache.AccessInfo{PC: deadPC})
 	}
 	for i := 0; i < 50; i++ {
-		v := p.Victim(0, cache.AccessInfo{}) // evicted unused → decrement
-		p.Fill(0, v, cache.AccessInfo{PC: deadPC})
+		v := p.Victim(0, &cache.AccessInfo{}) // evicted unused → decrement
+		p.Fill(0, v, &cache.AccessInfo{PC: deadPC})
 	}
 	// Train the live PC: every residency sees a reuse.
 	for i := 0; i < 50; i++ {
-		p.Fill(1, 0, cache.AccessInfo{PC: livePC})
-		p.Hit(1, 0, cache.AccessInfo{}) // reused → increment
+		p.Fill(1, 0, &cache.AccessInfo{PC: livePC})
+		p.Hit(1, 0, &cache.AccessInfo{}) // reused → increment
 	}
-	p.Fill(2, 0, cache.AccessInfo{PC: deadPC})
-	p.Fill(2, 1, cache.AccessInfo{PC: livePC})
+	p.Fill(2, 0, &cache.AccessInfo{PC: deadPC})
+	p.Fill(2, 1, &cache.AccessInfo{PC: livePC})
 	if p.rrpv[2*4+0] != rripMax {
 		t.Errorf("dead-PC fill RRPV = %d, want %d (distant)", p.rrpv[2*4+0], rripMax)
 	}

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"sharellc/internal/cache"
+	"sharellc/internal/mem"
 	"sharellc/internal/rng"
 )
 
@@ -23,6 +24,7 @@ type rripCore struct {
 func (p *rripCore) Attach(sets, ways int) {
 	p.ways = ways
 	p.rrpv = make([]uint8, sets*ways)
+	mem.Hugepages(p.rrpv)
 	// Empty ways start at distant so cold sets fill predictably, though
 	// the cache fills invalid ways without consulting the policy anyway.
 	for i := range p.rrpv {
@@ -31,13 +33,13 @@ func (p *rripCore) Attach(sets, ways int) {
 }
 
 // hit promotes the line to near-immediate re-reference (hit priority HP).
-func (p *rripCore) Hit(set, way int, _ cache.AccessInfo) {
+func (p *rripCore) Hit(set, way int, _ *cache.AccessInfo) {
 	p.rrpv[set*p.ways+way] = 0
 }
 
 // Victim implements the standard RRIP search: find a way at rripMax,
 // aging the whole set until one appears.
-func (p *rripCore) Victim(set int, _ cache.AccessInfo) int {
+func (p *rripCore) Victim(set int, _ *cache.AccessInfo) int {
 	base := set * p.ways
 	for {
 		for w := 0; w < p.ways; w++ {
@@ -52,7 +54,7 @@ func (p *rripCore) Victim(set int, _ cache.AccessInfo) int {
 }
 
 // RankVictims implements VictimRanker: higher RRPV first.
-func (p *rripCore) RankVictims(set int, _ cache.AccessInfo) []int {
+func (p *rripCore) RankVictims(set int, _ *cache.AccessInfo) []int {
 	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
 		return int64(p.rrpv[set*p.ways+w])
 	}, p.rankBuf)
@@ -80,7 +82,7 @@ func NewSRRIP() *SRRIP { return &SRRIP{} }
 func (p *SRRIP) Name() string { return "srrip" }
 
 // Fill implements cache.Policy.
-func (p *SRRIP) Fill(set, way int, _ cache.AccessInfo) { p.insert(set, way, rripMax-1) }
+func (p *SRRIP) Fill(set, way int, _ *cache.AccessInfo) { p.insert(set, way, rripMax-1) }
 
 // PerSetIndependent reports that SRRIP qualifies for set-sharded replay.
 // Declared on SRRIP (not rripCore) deliberately: BRRIP, DRRIP and SHiP
@@ -105,7 +107,7 @@ func NewBRRIP(rnd *rng.Source) *BRRIP { return &BRRIP{rnd: rnd} }
 func (p *BRRIP) Name() string { return "brrip" }
 
 // Fill implements cache.Policy.
-func (p *BRRIP) Fill(set, way int, _ cache.AccessInfo) {
+func (p *BRRIP) Fill(set, way int, _ *cache.AccessInfo) {
 	if p.rnd.Bool(brripEpsilon) {
 		p.insert(set, way, rripMax-1)
 	} else {
@@ -134,7 +136,7 @@ func (p *DRRIP) Attach(sets, ways int) {
 }
 
 // Fill implements cache.Policy.
-func (p *DRRIP) Fill(set, way int, _ cache.AccessInfo) {
+func (p *DRRIP) Fill(set, way int, _ *cache.AccessInfo) {
 	p.duel.observeMiss(set)
 	if p.duel.useA(set) { // A = SRRIP
 		p.insert(set, way, rripMax-1)

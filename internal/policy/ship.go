@@ -1,6 +1,9 @@
 package policy
 
-import "sharellc/internal/cache"
+import (
+	"sharellc/internal/cache"
+	"sharellc/internal/mem"
+)
 
 // SHiP (signature-based hit prediction, Wu et al. MICRO'11) augments
 // SRRIP with a table of saturating counters indexed by a signature of the
@@ -41,6 +44,8 @@ func (p *SHiP) Attach(sets, ways int) {
 	}
 	p.lineSig = make([]uint16, sets*ways)
 	p.lineUsed = make([]bool, sets*ways)
+	mem.Hugepages(p.lineSig)
+	mem.Hugepages(p.lineUsed)
 }
 
 // Signature hashes a PC into an SHCT index. Exported for the predictor
@@ -55,7 +60,7 @@ func Signature(pc uint64) uint16 {
 
 // Hit implements cache.Policy: promote and mark the line's signature as
 // reused (SHCT increments once per residency, on first reuse).
-func (p *SHiP) Hit(set, way int, a cache.AccessInfo) {
+func (p *SHiP) Hit(set, way int, a *cache.AccessInfo) {
 	p.rripCore.Hit(set, way, a)
 	idx := set*p.ways + way
 	if !p.lineUsed[idx] {
@@ -69,7 +74,7 @@ func (p *SHiP) Hit(set, way int, a cache.AccessInfo) {
 // Victim implements cache.Policy: before the line chosen by the RRIP
 // search is displaced, a dead-on-eviction residency trains its signature
 // down.
-func (p *SHiP) Victim(set int, a cache.AccessInfo) int {
+func (p *SHiP) Victim(set int, a *cache.AccessInfo) int {
 	way := p.rripCore.Victim(set, a)
 	p.ObserveEvict(set, way)
 	return way
@@ -88,7 +93,7 @@ func (p *SHiP) ObserveEvict(set, way int) {
 }
 
 // Fill implements cache.Policy.
-func (p *SHiP) Fill(set, way int, a cache.AccessInfo) {
+func (p *SHiP) Fill(set, way int, a *cache.AccessInfo) {
 	sig := Signature(a.PC)
 	idx := set*p.ways + way
 	p.lineSig[idx] = sig
@@ -122,11 +127,12 @@ func (p *SHiPS) Name() string { return "ship-s" }
 func (p *SHiPS) Attach(sets, ways int) {
 	p.SHiP.Attach(sets, ways)
 	p.lineCore = make([]uint8, sets*ways)
+	mem.Hugepages(p.lineCore)
 }
 
 // Hit implements cache.Policy: cross-core reuse trains the signature a
 // second step.
-func (p *SHiPS) Hit(set, way int, a cache.AccessInfo) {
+func (p *SHiPS) Hit(set, way int, a *cache.AccessInfo) {
 	idx := set*p.ways + way
 	firstReuse := !p.lineUsed[idx]
 	p.SHiP.Hit(set, way, a)
@@ -139,7 +145,7 @@ func (p *SHiPS) Hit(set, way int, a cache.AccessInfo) {
 
 // Fill implements cache.Policy: remember the filler and let confident
 // sharing sites insert at the most-protected position.
-func (p *SHiPS) Fill(set, way int, a cache.AccessInfo) {
+func (p *SHiPS) Fill(set, way int, a *cache.AccessInfo) {
 	p.SHiP.Fill(set, way, a)
 	idx := set*p.ways + way
 	p.lineCore[idx] = a.Core

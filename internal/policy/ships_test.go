@@ -15,16 +15,16 @@ func TestSHiPSTrainsDoubleOnCrossCoreReuse(t *testing.T) {
 	sig := Signature(pc)
 	start := p.shct[sig]
 	// One residency with a cross-core first reuse: +2 total.
-	p.Fill(0, 0, cache.AccessInfo{PC: pc, Core: 0})
-	p.Hit(0, 0, cache.AccessInfo{Core: 1})
+	p.Fill(0, 0, &cache.AccessInfo{PC: pc, Core: 0})
+	p.Hit(0, 0, &cache.AccessInfo{Core: 1})
 	if got := p.shct[sig]; got != start+2 {
 		t.Errorf("cross-core reuse trained %d→%d, want +2", start, got)
 	}
 	// Same-core first reuse: +1 only.
 	p2 := NewSHiPS()
 	p2.Attach(4, 4)
-	p2.Fill(0, 0, cache.AccessInfo{PC: pc, Core: 0})
-	p2.Hit(0, 0, cache.AccessInfo{Core: 0})
+	p2.Fill(0, 0, &cache.AccessInfo{PC: pc, Core: 0})
+	p2.Hit(0, 0, &cache.AccessInfo{Core: 0})
 	if got := p2.shct[sig]; got != start+1 {
 		t.Errorf("same-core reuse trained %d→%d, want +1", start, got)
 	}
@@ -36,13 +36,13 @@ func TestSHiPSConfidentSiteInsertsAtZero(t *testing.T) {
 	const pc = 0x5000
 	sig := Signature(pc)
 	p.shct[sig] = shipCounterMax // fully confident sharing site
-	p.Fill(1, 2, cache.AccessInfo{PC: pc, Core: 3})
+	p.Fill(1, 2, &cache.AccessInfo{PC: pc, Core: 3})
 	if got := p.rrpv[1*4+2]; got != 0 {
 		t.Errorf("confident-site fill RRPV = %d, want 0", got)
 	}
 	// An unconfident site inserts like SHiP (long or distant).
 	p.shct[Signature(0x6000)] = 1
-	p.Fill(1, 3, cache.AccessInfo{PC: 0x6000, Core: 3})
+	p.Fill(1, 3, &cache.AccessInfo{PC: 0x6000, Core: 3})
 	if got := p.rrpv[1*4+3]; got != rripMax-1 {
 		t.Errorf("weak-site fill RRPV = %d, want %d", got, rripMax-1)
 	}

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"sharellc/internal/cache"
+	"sharellc/internal/mem"
 	"sharellc/internal/rng"
 )
 
@@ -17,7 +18,7 @@ type LRUPolicy struct {
 func NewLRUPolicy() *LRUPolicy { return &LRUPolicy{} }
 
 // RankVictims implements VictimRanker: least-recent first.
-func (p *LRUPolicy) RankVictims(set int, _ cache.AccessInfo) []int {
+func (p *LRUPolicy) RankVictims(set int, _ *cache.AccessInfo) []int {
 	ways := p.Ways()
 	p.rankBuf = rankByKey(ways, func(w int) int64 {
 		// Lower stamp = older = better victim, so negate.
@@ -43,13 +44,13 @@ func (p *Random) Name() string { return "random" }
 func (p *Random) Attach(sets, ways int) { p.ways = ways }
 
 // Hit implements cache.Policy.
-func (p *Random) Hit(int, int, cache.AccessInfo) {}
+func (p *Random) Hit(int, int, *cache.AccessInfo) {}
 
 // Fill implements cache.Policy.
-func (p *Random) Fill(int, int, cache.AccessInfo) {}
+func (p *Random) Fill(int, int, *cache.AccessInfo) {}
 
 // Victim implements cache.Policy.
-func (p *Random) Victim(int, cache.AccessInfo) int { return p.rnd.Intn(p.ways) }
+func (p *Random) Victim(int, *cache.AccessInfo) int { return p.rnd.Intn(p.ways) }
 
 // FIFO evicts in fill order, ignoring hits.
 type FIFO struct {
@@ -69,14 +70,15 @@ func (p *FIFO) Name() string { return "fifo" }
 func (p *FIFO) Attach(sets, ways int) {
 	p.ways = ways
 	p.stamp = make([]int64, sets*ways)
+	mem.Hugepages(p.stamp)
 	p.clock = 0
 }
 
 // Hit implements cache.Policy. FIFO ignores hits.
-func (p *FIFO) Hit(int, int, cache.AccessInfo) {}
+func (p *FIFO) Hit(int, int, *cache.AccessInfo) {}
 
 // Fill implements cache.Policy.
-func (p *FIFO) Fill(set, way int, _ cache.AccessInfo) {
+func (p *FIFO) Fill(set, way int, _ *cache.AccessInfo) {
 	p.clock++
 	p.stamp[set*p.ways+way] = p.clock
 }
@@ -94,7 +96,7 @@ func (p *FIFO) Demote(set, way int) {
 }
 
 // Victim implements cache.Policy: the oldest fill.
-func (p *FIFO) Victim(set int, _ cache.AccessInfo) int {
+func (p *FIFO) Victim(set int, _ *cache.AccessInfo) int {
 	base := set * p.ways
 	victim, min := 0, p.stamp[base]
 	for w := 1; w < p.ways; w++ {
@@ -110,7 +112,7 @@ func (p *FIFO) Victim(set int, _ cache.AccessInfo) int {
 func (p *FIFO) PerSetIndependent() bool { return true }
 
 // RankVictims implements VictimRanker: oldest fill first.
-func (p *FIFO) RankVictims(set int, _ cache.AccessInfo) []int {
+func (p *FIFO) RankVictims(set int, _ *cache.AccessInfo) []int {
 	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
 		return -p.stamp[set*p.ways+w]
 	}, p.rankBuf)
@@ -138,20 +140,21 @@ func (p *NRU) Name() string { return "nru" }
 func (p *NRU) Attach(sets, ways int) {
 	p.ways = ways
 	p.ref = make([]bool, sets*ways)
+	mem.Hugepages(p.ref)
 }
 
 // Hit implements cache.Policy.
-func (p *NRU) Hit(set, way int, _ cache.AccessInfo) { p.ref[set*p.ways+way] = true }
+func (p *NRU) Hit(set, way int, _ *cache.AccessInfo) { p.ref[set*p.ways+way] = true }
 
 // Fill implements cache.Policy.
-func (p *NRU) Fill(set, way int, _ cache.AccessInfo) { p.ref[set*p.ways+way] = true }
+func (p *NRU) Fill(set, way int, _ *cache.AccessInfo) { p.ref[set*p.ways+way] = true }
 
 // Demote clears way's reference bit, making it a preferred victim
 // (core.Demoter).
 func (p *NRU) Demote(set, way int) { p.ref[set*p.ways+way] = false }
 
 // Victim implements cache.Policy.
-func (p *NRU) Victim(set int, _ cache.AccessInfo) int {
+func (p *NRU) Victim(set int, _ *cache.AccessInfo) int {
 	base := set * p.ways
 	for w := 0; w < p.ways; w++ {
 		if !p.ref[base+w] {
@@ -171,7 +174,7 @@ func (p *NRU) PerSetIndependent() bool { return true }
 
 // RankVictims implements VictimRanker: clear-bit ways first (ascending
 // way), then set-bit ways.
-func (p *NRU) RankVictims(set int, _ cache.AccessInfo) []int {
+func (p *NRU) RankVictims(set int, _ *cache.AccessInfo) []int {
 	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
 		if p.ref[set*p.ways+w] {
 			return 0
@@ -193,12 +196,13 @@ type lipCore struct {
 func (p *lipCore) Attach(sets, ways int) {
 	p.ways = ways
 	p.stamp = make([]int64, sets*ways)
+	mem.Hugepages(p.stamp)
 	// Start above zero so insertAtLRU's min-1 never collides with the
 	// zero stamps of untouched ways in other sets.
 	p.clock = 1 << 32
 }
 
-func (p *lipCore) Hit(set, way int, _ cache.AccessInfo) { p.touchMRU(set, way) }
+func (p *lipCore) Hit(set, way int, _ *cache.AccessInfo) { p.touchMRU(set, way) }
 
 // Promote moves way to MRU (core.Promoter).
 func (p *lipCore) Promote(set, way int) { p.touchMRU(set, way) }
@@ -224,7 +228,7 @@ func (p *lipCore) insertAtLRU(set, way int) {
 	p.stamp[base+way] = min - 1
 }
 
-func (p *lipCore) Victim(set int, _ cache.AccessInfo) int {
+func (p *lipCore) Victim(set int, _ *cache.AccessInfo) int {
 	base := set * p.ways
 	victim, min := 0, p.stamp[base]
 	for w := 1; w < p.ways; w++ {
@@ -235,7 +239,7 @@ func (p *lipCore) Victim(set int, _ cache.AccessInfo) int {
 	return victim
 }
 
-func (p *lipCore) RankVictims(set int, _ cache.AccessInfo) []int {
+func (p *lipCore) RankVictims(set int, _ *cache.AccessInfo) []int {
 	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
 		return -p.stamp[set*p.ways+w]
 	}, p.rankBuf)
@@ -254,7 +258,7 @@ func NewLIP() *LIP { return &LIP{} }
 func (p *LIP) Name() string { return "lip" }
 
 // Fill implements cache.Policy.
-func (p *LIP) Fill(set, way int, _ cache.AccessInfo) { p.insertAtLRU(set, way) }
+func (p *LIP) Fill(set, way int, _ *cache.AccessInfo) { p.insertAtLRU(set, way) }
 
 // PerSetIndependent reports that LIP qualifies for set-sharded replay.
 // Declared on LIP (not lipCore) deliberately: BIP and DIP embed lipCore
@@ -279,7 +283,7 @@ func NewBIP(rnd *rng.Source) *BIP { return &BIP{rnd: rnd} }
 func (p *BIP) Name() string { return "bip" }
 
 // Fill implements cache.Policy.
-func (p *BIP) Fill(set, way int, _ cache.AccessInfo) {
+func (p *BIP) Fill(set, way int, _ *cache.AccessInfo) {
 	if p.rnd.Bool(bipEpsilon) {
 		p.touchMRU(set, way)
 	} else {
@@ -309,7 +313,7 @@ func (p *DIP) Attach(sets, ways int) {
 }
 
 // Fill implements cache.Policy.
-func (p *DIP) Fill(set, way int, a cache.AccessInfo) {
+func (p *DIP) Fill(set, way int, a *cache.AccessInfo) {
 	p.duel.observeMiss(set)
 	if p.duel.useA(set) { // constituent A = LRU
 		p.touchMRU(set, way)

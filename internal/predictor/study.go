@@ -20,12 +20,29 @@ func Evaluate(stream []cache.AccessInfo, llcSize, llcWays int, p cache.Policy, p
 // EvaluateCtx is Evaluate with a cancellation context threaded into the
 // replay; cancelling ctx aborts a long F7 cell at its next poll.
 func EvaluateCtx(ctx context.Context, stream []cache.AccessInfo, llcSize, llcWays int, p cache.Policy, pred Predictor) (*sharing.Result, error) {
-	opt := sharing.Options{Hooks: hooksFor(pred), Ctx: ctx}
+	opt := sharing.Options{Hooks: HooksFor(pred), Ctx: ctx}
 	res, err := sharing.Replay(stream, llcSize, llcWays, p, opt)
 	if err != nil {
 		return nil, fmt.Errorf("predictor: evaluating %s: %w", pred.Name(), err)
 	}
 	return res, nil
+}
+
+// EvaluateMulti measures every predictor's fill-time accuracy in one
+// fused replay over the stream: one lane per predictor, each with its
+// own fresh base policy (newBase is called once per lane) and its own
+// hook set, so each lane's result is bit-identical to EvaluateCtx for
+// that predictor alone. Results are returned in predictor order.
+func EvaluateMulti(ctx context.Context, stream []cache.AccessInfo, llcSize, llcWays int, newBase func() cache.Policy, preds []Predictor) ([]*sharing.Result, error) {
+	configs := make([]sharing.LLCConfig, len(preds))
+	for i, pred := range preds {
+		configs[i] = sharing.LLCConfig{Size: llcSize, Ways: llcWays, NewPolicy: newBase, Hooks: HooksFor(pred)}
+	}
+	results, err := sharing.ReplayMulti(stream, configs, sharing.Options{Ctx: ctx})
+	if err != nil {
+		return nil, fmt.Errorf("predictor: fused evaluation: %w", err)
+	}
+	return results, nil
 }
 
 // Drive runs a predictor end-to-end (experiment F8): the base policy is
@@ -46,7 +63,7 @@ func DriveOpts(stream []cache.AccessInfo, llcSize, llcWays int, base cache.Polic
 // the replay.
 func DriveOptsCtx(ctx context.Context, stream []cache.AccessInfo, llcSize, llcWays int, base cache.Policy, pred Predictor, opts core.Options) (*sharing.Result, core.Stats, error) {
 	prot := core.NewProtectorOpts(base, opts)
-	opt := sharing.Options{Hooks: hooksFor(pred), Ctx: ctx}
+	opt := sharing.Options{Hooks: HooksFor(pred), Ctx: ctx}
 	res, err := sharing.Replay(stream, llcSize, llcWays, prot, opt)
 	if err != nil {
 		return nil, core.Stats{}, fmt.Errorf("predictor: driving %s: %w", pred.Name(), err)
@@ -54,10 +71,12 @@ func DriveOptsCtx(ctx context.Context, stream []cache.AccessInfo, llcSize, llcWa
 	return res, prot.Stats(), nil
 }
 
-// hooksFor wires a predictor into the replay: fill-time prediction,
+// HooksFor wires a predictor into a replay lane: fill-time prediction,
 // residency training, and — for predictors that watch every access (the
-// coherence-assisted predictor) — the per-access observation feed.
-func hooksFor(pred Predictor) sharing.Hooks {
+// coherence-assisted predictor) — the per-access observation feed. It is
+// exported so fused replays (sim.PredictorDriven) can build per-lane
+// hook sets directly.
+func HooksFor(pred Predictor) sharing.Hooks {
 	h := sharing.Hooks{
 		PredictShared:  pred.Predict,
 		OnResidencyEnd: pred.Train,

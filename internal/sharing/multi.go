@@ -1,0 +1,649 @@
+package sharing
+
+// Fused multi-policy replay.
+//
+// The paper's headline tables are sweeps: the same prepared reference
+// stream is replayed once per (policy, geometry) cell. ReplayMulti runs
+// one pass over the stream that drives N independent LLC models
+// ("lanes"), one per configuration. Each lane keeps its own replayState
+// — shared/private residency classification depends on each lane's own
+// eviction schedule, so no tracker state can be shared across lanes —
+// but the shard partition is computed (or fetched from
+// Options.Partitioner) once instead of once per cell, and the engine
+// schedules the lanes so that the model state resident in cache at any
+// moment is a small slice of the sweep's total, which is where the
+// speedup over per-cell replay comes from (see the scheduling notes on
+// replayLanes).
+//
+// Lanes split into three groups:
+//
+//   - shardable lanes (per-set-independent policy, no hooks) replay
+//     set-shard by set-shard: a worker that claims shard s gathers s's
+//     accesses into a contiguous buffer once and walks it once per
+//     lane, so one shard's slice of one lane's state — a fraction of a
+//     megabyte — is all that competes for cache during a walk;
+//   - two-phase lanes (cross-set policy state, no hooks) split the
+//     walk: a stream-order policy pass drives just the cache and
+//     policy — whose state is a couple of megabytes, cache-resident —
+//     and records each access's outcome in a one-byte-per-access log,
+//     from which the tracker half (the multi-megabyte arrays) then
+//     replays set-shard by set-shard like a shardable lane;
+//   - sequential lanes (per-lane hooks, or ways beyond the outcome
+//     log's 6-bit field) replay one lane at a time, each as its own
+//     full-stream walk in stream order, exactly like the sequential
+//     fallback of ReplayParallel. Hooks pin a lane here because a
+//     fill-time prediction feeds back into the very walk that would
+//     have produced the log.
+//
+// Every lane's Result is bit-identical to what ReplayParallel would
+// return for that lane alone: per-set policies see the same per-set
+// access sequences regardless of how sets are grouped into shards, and
+// sequential lanes run the very walk the fallback runs.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/mem"
+)
+
+// PartitionIndex is the counting-sort partition of a stream's positions
+// by LLC set shard: Order lists every stream position grouped by shard
+// (stream order within a shard), and shard s owns Order[Offs[s]:Offs[s+1]].
+// Shard membership is Block & (Shards-1) — set-index bits are block
+// bits, so for any cache whose set count is a multiple of Shards each
+// set belongs entirely to one shard, which is what lets one partition
+// serve lanes of different geometries. The partition depends only on
+// (stream, Shards) and is immutable once built, so it is safe to share
+// across concurrent replays.
+type PartitionIndex struct {
+	Shards int
+	Order  []int32
+	Offs   []int32
+}
+
+// Partitioner supplies the PartitionIndex for a shard count, typically
+// from a per-stream cache (sim.Stream carries one).
+type Partitioner func(shards int) (*PartitionIndex, error)
+
+// BuildPartition counting-sorts the stream positions by shard so each
+// shard worker can walk a contiguous index list in stream order. shards
+// must be a power of two ≥ 2. The pass also validates the stream Index
+// invariant (contiguous Index values starting at 0), so replays walking
+// a partition need no per-access validation.
+func BuildPartition(stream []cache.AccessInfo, shards int) (*PartitionIndex, error) {
+	if shards < 2 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("sharing: partition shard count %d is not a power of two >= 2", shards)
+	}
+	mask := uint64(shards - 1)
+	counts := make([]int32, shards)
+	for i := range stream {
+		if stream[i].Index != int64(i) {
+			return nil, fmt.Errorf("sharing: stream index %d at position %d; use cache.FilterStream ordering", stream[i].Index, i)
+		}
+		counts[stream[i].Block&mask]++
+	}
+	offs := make([]int32, shards+1)
+	for s := 0; s < shards; s++ {
+		offs[s+1] = offs[s] + counts[s]
+	}
+	order := make([]int32, len(stream))
+	pos := make([]int32, shards)
+	copy(pos, offs[:shards])
+	for i := range stream {
+		s := stream[i].Block & mask
+		order[pos[s]] = int32(i)
+		pos[s]++
+	}
+	mem.Hugepages(order)
+	return &PartitionIndex{Shards: shards, Order: order, Offs: offs}, nil
+}
+
+// LLCConfig describes one lane of a fused replay: an LLC geometry, a
+// policy factory and optional per-lane hooks.
+//
+// NewPolicy must return a fresh, identically-initialized instance on
+// every call (the standard policy.Factory contract): it is called once
+// up front to probe per-set independence, and — for per-set-independent
+// lanes replayed sharded — once more per worker. Lanes whose policy
+// keeps cross-set state run exactly one stream-order walk of that probe
+// instance (the policy pass of the two-phase split, or the whole lane
+// when sequential), so they call NewPolicy exactly once in total. A
+// lane with hooks always replays as a sequential walk, likewise one
+// call in total, which is what lets callers stash the built instance
+// (e.g. to read protector stats after the replay).
+type LLCConfig struct {
+	Size      int // LLC capacity in bytes
+	Ways      int
+	NewPolicy func() cache.Policy
+	// Hooks observe this lane only. Lanes with any hook installed are
+	// pinned to a sequential walk, exactly like the hook fallback of
+	// ReplayParallel, because hooks observe stream order.
+	Hooks Hooks
+}
+
+// lane is the engine-side state of one configuration.
+type lane struct {
+	cfg       LLCConfig
+	sets      int
+	inst      cache.Policy // probe instance; replays the lane when sequential
+	shardable bool
+
+	// Shared flat state of the sharded path; every index range is owned
+	// by exactly one shard (lines by set, active/blockState by block,
+	// fillShared by fill position), so concurrent writes never collide.
+	lines      []Residency
+	active     []uint32
+	blockState []uint8
+	fillShared []bool
+	parts      []*Result // per-shard partial results
+
+	// log records the cache outcome of every stream access for a
+	// two-phase lane (see runPolicyPass); nil otherwise.
+	log []uint8
+
+	result *Result
+}
+
+// Outcome log encoding of the two-phase split: one byte per access.
+// Way numbers fit six bits (64-way is the widest supported geometry —
+// wider lanes fall back to a plain sequential walk).
+const (
+	logWayMask = uint8(1<<6 - 1)
+	logHit     = uint8(1 << 6)
+	logEvict   = uint8(1 << 7)
+	logMaxWays = 64
+)
+
+// laneRun is one lane's replay machinery on one worker: the LLC and
+// policy instance persist across every shard the worker claims (valid
+// precisely because shardable lanes are per-set independent and shards
+// own disjoint sets — state the previous shard left behind is state the
+// next shard never reads), while st is rebuilt per shard to produce that
+// shard's partial Result.
+type laneRun struct {
+	llc  *cache.SetAssoc
+	ways int
+	st   *replayState
+}
+
+// ReplayMulti replays stream once through every configuration in
+// configs and returns one Result per configuration, in order, each
+// bit-identical to ReplayParallel (and therefore to sequential Replay)
+// for that configuration alone with the same Options.
+//
+// Options.Warmup, KeepResidencies, Shards, Ctx and Partitioner apply to
+// every lane; hooks are per-lane (LLCConfig.Hooks), so Options.Hooks
+// must be empty. Options.Shards bounds the number of concurrent workers
+// only — the set-partition granularity is picked internally for cache
+// locality and never affects results.
+func ReplayMulti(stream []cache.AccessInfo, configs []LLCConfig, opt Options) ([]*Result, error) {
+	if opt.Hooks.any() {
+		return nil, fmt.Errorf("sharing: ReplayMulti hooks are per-lane; set LLCConfig.Hooks, not Options.Hooks")
+	}
+	if len(configs) == 0 {
+		return nil, nil
+	}
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	lanes := make([]*lane, len(configs))
+	maxSets := 1
+	for i, c := range configs {
+		if c.NewPolicy == nil {
+			return nil, fmt.Errorf("sharing: ReplayMulti config %d has no policy factory", i)
+		}
+		sets, err := cache.Geometry(c.Size, c.Ways)
+		if err != nil {
+			return nil, err
+		}
+		l := &lane{cfg: c, sets: sets, inst: c.NewPolicy()}
+		l.shardable = !c.Hooks.any() && cache.PerSetIndependent(l.inst)
+		if sets > maxSets {
+			maxSets = sets
+		}
+		lanes[i] = l
+	}
+	workers := resolveShards(len(stream), maxSets, opt)
+	if err := replayLanes(stream, lanes, workers, opt); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(lanes))
+	for i, l := range lanes {
+		results[i] = l.result
+	}
+	return results, nil
+}
+
+// blockBudget is the target size of one shard's slice of one lane's
+// model state. Replay cost is dominated by dependent loads of tracker,
+// tag and policy state at random set indices, so the blocking
+// granularity — not stream bandwidth — decides throughput: the shard
+// walk runs one lane at a time over the shard, and when that lane's
+// slice fits in L2-sized cache the walk runs out of cache no matter how
+// large the sweep's total state is.
+const blockBudget = 512 << 10
+
+// laneLineBytes approximates the combined tracker (Residency), tag and
+// policy bytes behind one (set, way) of one lane, and laneBlockBytes
+// the cache footprint behind one distinct block (its active and
+// blockState entries — dense within a shard thanks to the shard-major
+// ID layout of cache.AssignBlockIDs). Both are used only to pick the
+// blocking granularity.
+const (
+	laneLineBytes  = 128
+	laneBlockBytes = 8
+	// accessBytes is sizeof(cache.AccessInfo), the per-access cost of
+	// the gathered shard buffer.
+	accessBytes = 56
+)
+
+// blockShards picks the set-partition granularity for the sharded
+// lanes: enough shards that one shard's slice of the largest lane's
+// model state fits blockBudget, at least the worker count so every
+// worker can claim a shard, at most the smallest sharded lane's set
+// count so a shard never splits a set (both bounds are powers of two,
+// as is the result, so shard membership stays a mask of block bits).
+// The cap matches the shard-major block-ID layout (cache.IDGroupBits):
+// up to that many shards, each shard's per-block state is a few dense
+// ID ranges; beyond it, the ranges would fragment again.
+func blockShards(hotBytes, minSets, workers int) int {
+	p := 1
+	for p < 1<<cache.IDGroupBits && hotBytes/p > blockBudget {
+		p <<= 1
+	}
+	if p < workers {
+		p = workers
+	}
+	if p > minSets {
+		p = floorPow2(minSets)
+	}
+	return p
+}
+
+// replayLanes is the fused engine shared by ReplayMulti and the sharded
+// path of ReplayParallel. It turns the lanes into a task list — one
+// full-stream walk per sequential lane, one task per set shard for the
+// shardable group — and runs the tasks on `workers` concurrent workers,
+// leaving each lane's merged Result in lane.result.
+//
+// The scheduling is chosen for memory locality, which is what replay
+// throughput is bound by (the stream itself is read sequentially and is
+// a minor cost next to the random-indexed model state):
+//
+//   - sequential lanes run lane-serial, so exactly one lane's model
+//     state (a few MB) is resident per worker — interleaving them would
+//     cycle every lane's state through cache between two uses of any
+//     one lane's;
+//   - shard tasks step all shardable lanes over one shard's accesses,
+//     and a shard's slice of the combined lane state is capped near
+//     blockBudget by blockShards, so the sharded walk runs out of cache
+//     even when the lanes' total state is hundreds of MB. Workers reuse
+//     one LLC+policy instance per lane across the shards they claim
+//     (see laneRun).
+//
+// Sequential tasks are scheduled before shard tasks because they are
+// the long ones: a full-stream walk per task, against 1/P of the stream
+// per shard task.
+func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Options) error {
+	stream, numBlocks := ensureBlockIDs(stream, opt)
+	mem.Hugepages(stream)
+	// A lane can ride the set-sharded tracker walk either whole
+	// (shardable: per-set-independent policy, no hooks) or split
+	// (two-phase: any hook-free policy whose way numbers fit the
+	// outcome log — the policy pass runs in stream order, the tracker
+	// pass shards). Both kinds bound the blocking granularity.
+	blocked := func(l *lane) bool {
+		return l.shardable || (!l.cfg.Hooks.any() && l.cfg.Ways <= logMaxWays)
+	}
+	var shardLanes, phaseLanes, seqLanes []*lane
+	minSets, hotBytes := 0, 0
+	for _, l := range lanes {
+		if !blocked(l) {
+			continue
+		}
+		if minSets == 0 || l.sets < minSets {
+			minSets = l.sets
+		}
+		// One lane walk touches the lane's tracker/tag/policy lines, the
+		// active/blockState entries of the shard's blocks, and the
+		// shard's gathered accesses — all three shrink with the shard
+		// count, so all three belong in the blocking budget.
+		hb := l.sets*l.cfg.Ways*laneLineBytes + numBlocks*laneBlockBytes + len(stream)*accessBytes
+		if hb > hotBytes {
+			hotBytes = hb
+		}
+	}
+	shards := 1
+	if minSets > 1 {
+		shards = blockShards(hotBytes, minSets, workers)
+	}
+	for _, l := range lanes {
+		switch {
+		case shards > 1 && l.shardable:
+			shardLanes = append(shardLanes, l)
+		case shards > 1 && blocked(l):
+			phaseLanes = append(phaseLanes, l)
+		default:
+			seqLanes = append(seqLanes, l)
+		}
+	}
+
+	var part *PartitionIndex
+	if len(shardLanes)+len(phaseLanes) > 0 {
+		var err error
+		if opt.Partitioner != nil {
+			part, err = opt.Partitioner(shards)
+			if err == nil && (part.Shards != shards || len(part.Order) != len(stream)) {
+				err = fmt.Errorf("sharing: partitioner returned a partition for %d shards / %d accesses, want %d / %d",
+					part.Shards, len(part.Order), shards, len(stream))
+			}
+		} else {
+			part, err = BuildPartition(stream, shards)
+		}
+		if err != nil {
+			return err
+		}
+		// Tracker scratch comes from the pool (see scratch.go);
+		// fillShared — when recorded at all — is allocated fresh
+		// because it escapes into the merged Result.
+		for _, l := range append(append([]*lane(nil), shardLanes...), phaseLanes...) {
+			l.lines = grab(&scratch.lines, l.sets*l.cfg.Ways, false)
+			l.active = grab(&scratch.words, numBlocks, false)
+			l.blockState = grab(&scratch.bytes, numBlocks, true)
+			l.parts = make([]*Result, shards)
+			if opt.FillShared {
+				l.fillShared = make([]bool, len(stream))
+				mem.Hugepages(l.fillShared)
+			}
+		}
+		for _, l := range phaseLanes {
+			l.log = grab(&scratch.bytes, len(stream), false)
+		}
+	}
+
+	// Stream-order tasks: the policy passes of the two-phase lanes come
+	// first — shard tasks consume their logs, so workers block on
+	// phase1 before claiming shards — then the sequential lanes.
+	type seqTask struct {
+		l      *lane
+		phase1 bool
+	}
+	tasks := make([]seqTask, 0, len(phaseLanes)+len(seqLanes))
+	for _, l := range phaseLanes {
+		tasks = append(tasks, seqTask{l, true})
+	}
+	for _, l := range seqLanes {
+		tasks = append(tasks, seqTask{l, false})
+	}
+	var phase1 sync.WaitGroup
+	phase1.Add(len(phaseLanes))
+
+	if workers < 1 {
+		workers = 1
+	}
+	if n := len(tasks) + (len(shardLanes)+len(phaseLanes))*shards; workers > n {
+		workers = n
+	}
+	var seqNext, shardNext int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				t := atomic.AddInt64(&seqNext, 1) - 1
+				if t >= int64(len(tasks)) {
+					break
+				}
+				if tk := tasks[t]; tk.phase1 {
+					errs[w] = runPolicyPass(stream, tk.l, opt)
+					// Done even on error: a worker that claimed a
+					// phase1 task must release the barrier, or peers
+					// would wait forever on a task nobody will rerun.
+					// The error makes the whole replay fail, so shard
+					// walks reading the unfinished log are discarded.
+					phase1.Done()
+					if errs[w] != nil {
+						return
+					}
+				} else if errs[w] = runSeqLane(stream, numBlocks, tk.l, opt); errs[w] != nil {
+					return
+				}
+			}
+			if len(shardLanes)+len(phaseLanes) == 0 {
+				return
+			}
+			phase1.Wait()
+			var runs []laneRun
+			var buf []cache.AccessInfo
+			for {
+				s := int(atomic.AddInt64(&shardNext, 1) - 1)
+				if s >= shards {
+					put(&scratch.accs, buf)
+					return
+				}
+				if runs == nil {
+					runs = make([]laneRun, len(shardLanes))
+					for j, l := range shardLanes {
+						llc, err := cache.NewSetAssoc(l.cfg.Size, l.cfg.Ways, l.cfg.NewPolicy())
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						runs[j] = laneRun{llc: llc, ways: l.cfg.Ways}
+					}
+					max := 0
+					for t := 0; t < shards; t++ {
+						if n := int(part.Offs[t+1] - part.Offs[t]); n > max {
+							max = n
+						}
+					}
+					buf = grab(&scratch.accs, max, false)
+				}
+				if errs[w] = runShard(stream, shardLanes, phaseLanes, part, s, runs, buf, opt); errs[w] != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, l := range append(append([]*lane(nil), shardLanes...), phaseLanes...) {
+		l.result = mergeLane(l.inst.Name(), l.fillShared, l.parts, l.blockState, opt.KeepResidencies)
+		put(&scratch.lines, l.lines)
+		put(&scratch.words, l.active)
+		put(&scratch.bytes, l.blockState)
+		if l.log != nil {
+			put(&scratch.bytes, l.log)
+		}
+	}
+	return nil
+}
+
+// runPolicyPass is phase one of a two-phase lane: the full-stream,
+// stream-order walk of the lane's cache and policy — the only part of
+// the replay that genuinely needs global order when the policy keeps
+// cross-set state (dueling counters, shared RNG draws, global tables).
+// Its working set is just tags plus policy state; the multi-megabyte
+// tracker arrays are untouched. Each access's outcome lands in l.log,
+// from which the tracker half replays set-shard by set-shard (see
+// stepLogged). The policy sequence is exactly the sequential replay's:
+// one llc.Access per access in stream order. Stream Index validation
+// happened when the partition was built (two-phase lanes exist only
+// alongside a partition), so the loop carries none.
+//
+// Like the tracker's step, the pass keeps its own block → line slot
+// table so the majority path — a hit — costs one table load and the
+// policy notification instead of the cache's tag scan (the skipped
+// llc.Access would only re-derive the same (set, way); its hit counter
+// and dirty-bit updates are unobservable through the outcome log). The
+// pass borrows the lane's phase-two active table for it, plus a pooled
+// slot → block id reverse map so evictions can clear their victim's
+// entry, and re-zeroes the active table before the tracker phase seeds
+// from it.
+func runPolicyPass(stream []cache.AccessInfo, l *lane, opt Options) error {
+	llc, err := cache.NewSetAssoc(l.cfg.Size, l.cfg.Ways, l.inst)
+	if err != nil {
+		return err
+	}
+	log := l.log
+	ways := l.cfg.Ways
+	active := l.active
+	lineID := grab(&scratch.words, l.sets*ways, false)
+	pol := llc.Policy()
+	for i := range stream {
+		if opt.Ctx != nil && i&(cancelStride-1) == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				return err
+			}
+		}
+		a := &stream[i]
+		if li := active[a.BlockID]; li != 0 {
+			// As in step's hit path: the set comes from the block address
+			// (a mask), not a divide of li by the runtime ways value.
+			set := llc.SetOf(a.Block)
+			way := int(li-1) - set*ways
+			pol.Hit(set, way, a)
+			log[i] = uint8(way) | logHit
+			continue
+		}
+		out := llc.FillRef(a)
+		b := uint8(out.Way)
+		li := out.Set*ways + out.Way
+		if out.Evicted {
+			b |= logEvict
+			active[lineID[li]] = 0
+		}
+		lineID[li] = a.BlockID
+		active[a.BlockID] = uint32(li + 1)
+		log[i] = b
+	}
+	clear(active)
+	// The words pool's at-rest invariant is all-zero (active tables seed
+	// from it without a clearing pass), so the reverse map must not go
+	// back dirty.
+	clear(lineID)
+	put(&scratch.words, lineID)
+	return nil
+}
+
+// runSeqLane replays one sequential lane over the whole stream, exactly
+// the walk sequential Replay runs (same Index validation, same hook
+// dispatch in stream order), writing the finished Result to l.result.
+func runSeqLane(stream []cache.AccessInfo, numBlocks int, l *lane, opt Options) error {
+	llc, err := cache.NewSetAssoc(l.cfg.Size, l.cfg.Ways, l.inst)
+	if err != nil {
+		return err
+	}
+	st := &replayState{
+		res:        newResult(l.inst.Name(), fillLen(opt, stream)),
+		lines:      grab(&scratch.lines, l.sets*l.cfg.Ways, false),
+		active:     grab(&scratch.words, numBlocks, false),
+		blockState: grab(&scratch.bytes, numBlocks, true),
+		warmup:     int64(opt.Warmup),
+		hooks:      l.cfg.Hooks,
+		hadPred:    l.cfg.Hooks.PredictShared != nil,
+		keep:       opt.KeepResidencies,
+		ctx:        opt.Ctx,
+	}
+	mem.Hugepages(st.res.FillShared)
+	if err := st.run(llc, stream, nil); err != nil {
+		return err
+	}
+	st.closeAlive(l.sets, l.cfg.Ways, 1, 0)
+	census(st.res, st.blockState)
+	l.result = st.res
+	put(&scratch.lines, st.lines)
+	put(&scratch.words, st.active)
+	put(&scratch.bytes, st.blockState)
+	return nil
+}
+
+// runShard walks shard s's accesses once per shardable lane and once
+// per two-phase lane, one lane at a time. The shard's accesses are
+// first gathered from the stream into buf (the worker's reusable
+// scratch, cap ≥ any shard's length): the gather's strided loads are
+// paid once per shard, and every lane then reads a contiguous,
+// prefetch-friendly buffer. Walking lanes one after another — rather
+// than interleaving accesses across lanes — keeps exactly one lane's
+// shard slice (≈ blockBudget bytes) resident for the whole walk and
+// every policy call site monomorphic; re-reading the buffer per lane is
+// sequential and nearly free by comparison. Lane state slices are
+// shared across workers with disjoint ownership (see lane); the LLC and
+// policy instances in runs belong to the calling worker and carry over
+// from the shards it processed before. Two-phase lanes have no cache or
+// policy here at all: their walk is the tracker half only, re-enacting
+// the outcome log their policy pass recorded (see stepLogged).
+func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *PartitionIndex, s int, runs []laneRun, buf []cache.AccessInfo, opt Options) error {
+	for j, l := range lanes {
+		res := newResult(l.inst.Name(), 0)
+		res.FillShared = l.fillShared
+		runs[j].st = &replayState{
+			res:        res,
+			lines:      l.lines,
+			active:     l.active,
+			blockState: l.blockState,
+			warmup:     int64(opt.Warmup),
+			keep:       opt.KeepResidencies,
+		}
+	}
+	order := part.Order[part.Offs[s]:part.Offs[s+1]]
+	accs := buf[:len(order)]
+	for k, idx := range order {
+		accs[k] = stream[idx]
+	}
+	for j := range runs {
+		llc, ways, st := runs[j].llc, runs[j].ways, runs[j].st
+		for i := range accs {
+			if opt.Ctx != nil && i&(cancelStride-1) == 0 {
+				if err := opt.Ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := st.step(llc, ways, &accs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for j, l := range lanes {
+		runs[j].st.closeAlive(l.sets, l.cfg.Ways, part.Shards, s)
+		l.parts[s] = runs[j].st.res
+	}
+	for _, l := range phaseLanes {
+		res := newResult(l.inst.Name(), 0)
+		res.FillShared = l.fillShared
+		st := &replayState{
+			res:        res,
+			lines:      l.lines,
+			active:     l.active,
+			blockState: l.blockState,
+			warmup:     int64(opt.Warmup),
+			keep:       opt.KeepResidencies,
+		}
+		setMask := uint64(l.sets - 1)
+		ways := l.cfg.Ways
+		for i := range accs {
+			if opt.Ctx != nil && i&(cancelStride-1) == 0 {
+				if err := opt.Ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := st.stepLogged(l.log[order[i]], setMask, ways, &accs[i]); err != nil {
+				return err
+			}
+		}
+		st.closeAlive(l.sets, ways, part.Shards, s)
+		l.parts[s] = res
+	}
+	return nil
+}

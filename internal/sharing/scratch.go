@@ -1,0 +1,111 @@
+package sharing
+
+// Scratch pooling for the replay engine's flat per-lane arrays.
+//
+// A sweep calls ReplayMulti once per workload, and every call used to
+// allocate the same few hundred megabytes of tracker state — residency
+// slabs, active tables, block censuses, outcome logs, gather buffers —
+// only for the garbage collector to reclaim them moments later. The
+// allocations themselves are cheap; what is not is everything riding on
+// them: the runtime zeroing each array, the page faults of touching
+// fresh spans, and re-collapsing those spans into huge pages
+// (mem.Hugepages) on every single replay.
+//
+// The pool removes all three by recycling the arrays across replays.
+// Most kinds need no clearing at all, because a finished replay leaves
+// them satisfying the invariants a fresh replay needs:
+//
+//   - lines ([]Residency): a replay reads a slot only after filling it,
+//     except closeAlive, which treats a slot as live iff EvictIndex is
+//     -1. Closed slots keep their evicting index and closeAlive retires
+//     survivors to evictRetired, so a recycled slab contains no slot
+//     claiming an open residency; untouched capacity is still zero from
+//     make (EvictIndex 0 — also dead).
+//   - active ([]uint32): entries are cleared when their residency
+//     closes, and closeAlive clears the survivors', so the table
+//     returns to all-zero — exactly the fresh state.
+//   - outcome logs ([]uint8): phase one overwrites every byte before
+//     phase two reads it.
+//   - gather buffers ([]cache.AccessInfo): fully overwritten per shard.
+//
+// Only blockState needs an explicit clear on reuse (the census values
+// of the previous replay are meaningless for the next stream); that
+// clear costs the same as the allocator's zeroing it replaces, and the
+// faults and madvise calls are still saved.
+//
+// Arrays are grabbed best-fit by capacity and returned to the pool only
+// on a replay's success path — an aborted replay abandons its scratch
+// mid-invariant, and the pool never sees it. Result.FillShared is never
+// pooled: it escapes into the returned Result. The pool retains at most
+// scratchKeep entries per kind, so its footprint tracks one sweep's
+// working set (the suite's largest workload), not the sum of history.
+
+import (
+	"sync"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/mem"
+)
+
+// evictRetired marks a line slot whose survivor residency was already
+// closed by closeAlive: the slot is dead for every later scan, unlike
+// the public -1 ("alive at stream end") its logged copy keeps.
+const evictRetired = -2
+
+// scratchKeep bounds the retained entries per kind: enough for every
+// lane of the widest sweep plus worker gather buffers.
+const scratchKeep = 64
+
+var scratch struct {
+	mu    sync.Mutex
+	lines [][]Residency
+	words [][]uint32
+	bytes [][]uint8
+	accs  [][]cache.AccessInfo
+}
+
+// grab returns a slice of length n from pool (best capacity fit), or a
+// fresh huge-page-backed allocation on a miss. zero forces a clear of
+// the reused prefix for arrays whose old content carries no reusable
+// invariant (blockState). pool must be one of the scratch fields.
+func grab[T any](pool *[][]T, n int, zero bool) []T {
+	scratch.mu.Lock()
+	best := -1
+	for i, s := range *pool {
+		if cap(s) >= n && (best < 0 || cap(s) < cap((*pool)[best])) {
+			best = i
+		}
+	}
+	var s []T
+	if best >= 0 {
+		last := len(*pool) - 1
+		s = (*pool)[best][:n]
+		(*pool)[best] = (*pool)[last]
+		(*pool)[last] = nil
+		*pool = (*pool)[:last]
+	}
+	scratch.mu.Unlock()
+	if s == nil {
+		s = make([]T, n)
+		mem.Hugepages(s)
+		return s
+	}
+	if zero {
+		clear(s)
+	}
+	return s
+}
+
+// put returns a slice to pool, restored to full capacity so a later
+// grab sees everything the allocation can hold. Call only when the
+// replay that used it finished cleanly (see the package comment).
+func put[T any](pool *[][]T, s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	scratch.mu.Lock()
+	if len(*pool) < scratchKeep {
+		*pool = append(*pool, s[:cap(s)])
+	}
+	scratch.mu.Unlock()
+}

@@ -23,23 +23,27 @@ import (
 	"math/bits"
 	"runtime"
 	"sort"
-	"sync"
 
 	"sharellc/internal/cache"
+	"sharellc/internal/mem"
 )
 
 // Residency records one block's stay in the LLC.
+// Field order packs the struct into exactly 64 bytes (one cache line):
+// the replay's hot path loads and stores millions of Residencies at
+// random line indices, and at 64 bytes each such touch costs one cache
+// line instead of the two a padded layout straddles.
 type Residency struct {
 	Block      uint64
 	FillIndex  int64  // stream index of the access that filled the block
-	FillCore   uint8  // core that triggered the fill
 	FillPC     uint64 // PC that triggered the fill
 	Hits       uint64 // hits received during the residency
+	EvictIndex int64  // stream index of the evicting access, or -1 if alive at stream end
 	coreMask   [2]uint64
 	id         uint32 // dense BlockID of Block within the replayed stream
+	FillCore   uint8  // core that triggered the fill
 	written    bool   // any store touched the residency (fill included)
 	Predicted  bool   // the PredictShared hint attached at fill time
-	EvictIndex int64  // stream index of the evicting access, or -1 if alive at stream end
 }
 
 // addCore marks core as having touched the residency.
@@ -126,11 +130,14 @@ type Options struct {
 	Warmup int
 	Hooks  Hooks
 
-	// Shards controls the set-sharded parallel replay of ReplayParallel:
-	// 0 picks a shard count automatically (GOMAXPROCS, capped), 1 forces
-	// a sequential replay, and n > 1 requests up to n shards (rounded
-	// down to a power of two and clamped to the cache's set count).
-	// Sequential Replay ignores it.
+	// Shards bounds the parallelism of ReplayParallel and ReplayMulti:
+	// 0 picks a worker count automatically (GOMAXPROCS, capped), 1
+	// forces the plain sequential replay in ReplayParallel (a single
+	// worker in ReplayMulti), and n > 1 allows up to n concurrent
+	// workers (rounded down to a power of two and clamped to the set
+	// count). It never affects results — the set-partition granularity
+	// of the sharded walk is picked separately for cache locality (see
+	// blockShards). Sequential Replay ignores it.
 	Shards int
 
 	// Ctx, when non-nil, makes the replay cancellable: the hot loop
@@ -140,6 +147,36 @@ type Options struct {
 	// completion. Partial counters from an aborted replay are discarded
 	// by every caller, so cancellation cannot corrupt results.
 	Ctx context.Context
+
+	// Partitioner, when non-nil, supplies the counting-sort shard
+	// partition of the stream (see PartitionIndex) for the requested
+	// shard count instead of rebuilding it inside the replay. The
+	// partition depends only on (stream, shard count), so one cached
+	// instance serves every lane of every experiment on the same
+	// stream; sim.Stream attaches exactly such a cache. A partitioner
+	// returning a partition for the wrong shard count or stream length
+	// is a programming error and fails the replay.
+	Partitioner Partitioner
+
+	// FillShared records the oracle bit vector Result.FillShared (one
+	// bool per stream access). Off by default: the vector costs a
+	// stream-length allocation per replayed lane and nothing in the
+	// experiment pipeline consumes it — the oracle derives its hints
+	// from the stream itself (oracle.SharedHints), not from a prior
+	// replay's Result.
+	FillShared bool
+
+	// NumBlocks, when positive, asserts that the stream already carries
+	// dense BlockIDs in [0, NumBlocks) (cache.AssignBlockIDs), letting
+	// the replay skip the full-stream detection scan of
+	// cache.EnsureBlockIDs — a measurable saving when many experiments
+	// replay the same cached stream. sim.Stream records the count at
+	// build time and passes it here. Zero means "unknown": the replay
+	// scans and, if needed, annotates a copy. A wrong positive count is
+	// a programming error: too small panics on the first out-of-range
+	// ID (the per-block arrays are sized by it), too large only wastes
+	// memory. Sequential Replay honours it too.
+	NumBlocks int
 }
 
 // cancelStride is how many accesses a replay processes between context
@@ -219,7 +256,8 @@ type Result struct {
 	DistinctSharedBlocks uint64
 
 	// FillShared[i] is true iff stream access i triggered a fill whose
-	// residency became shared. This is the oracle's knowledge.
+	// residency became shared. This is the oracle's knowledge. Recorded
+	// only with Options.FillShared; nil otherwise.
 	FillShared []bool
 
 	// Pred accumulates fill-time prediction outcomes when a
@@ -287,12 +325,15 @@ type replayState struct {
 func (st *replayState) closeRes(r *Residency, evictIndex int64) {
 	res := st.res
 	r.EvictIndex = evictIndex
-	shared := r.Shared()
+	deg := r.Degree()
+	shared := deg >= 2
 	if shared {
 		// FillShared and the block census stay complete even for
 		// warmup residencies: the oracle and block-population view
 		// are stream properties, not sampled statistics.
-		res.FillShared[r.FillIndex] = true
+		if res.FillShared != nil {
+			res.FillShared[r.FillIndex] = true
+		}
 		st.blockState[r.id] = blockShared
 	} else if st.blockState[r.id] == blockUnseen {
 		st.blockState[r.id] = blockPrivate
@@ -305,7 +346,6 @@ func (st *replayState) closeRes(r *Residency, evictIndex int64) {
 		return
 	}
 	res.Residencies++
-	deg := r.Degree()
 	res.DegreeResidencies[deg]++
 	res.DegreeHits[deg] += r.Hits
 	if shared {
@@ -341,6 +381,152 @@ func (st *replayState) closeRes(r *Residency, evictIndex int64) {
 	}
 }
 
+// step advances the tracker by one access: hook dispatch, hit/fill
+// bookkeeping and residency maintenance. a points into the caller's
+// stream and is never written through — a fused sweep calls step once
+// per lane per access, so the multi-word record travels by reference;
+// when a fill-time prediction must be attached, it is attached to a
+// local copy before that copy reaches the cache. It is the shared
+// per-access body of the sequential replay, the shard workers and the
+// fused multi-lane replay (ReplayMulti).
+func (st *replayState) step(llc *cache.SetAssoc, ways int, a *cache.AccessInfo) error {
+	if st.hooks.OnAccess != nil {
+		st.hooks.OnAccess(*a)
+	}
+	counting := a.Index >= st.warmup
+	if counting {
+		st.res.Accesses++
+	}
+	id := a.BlockID
+	if li := st.active[id]; li != 0 {
+		r := &st.lines[li-1]
+		// The tracker already knows this is a hit and exactly which
+		// (set, way) holds the block, so the policy is notified
+		// directly and the cache's tag scan — a redundant dependent
+		// load at a random set index, on the majority path of every
+		// replay — is skipped. The skipped llc.Access would only have
+		// re-derived the same (set, way) and updated state that is
+		// not observable through Result: the LLC's own hit counters
+		// and the line dirty bit (dirtiness feeds writeback modelling
+		// in the private hierarchy, not the policy study). The miss
+		// path trusts the tracker symmetrically (cache.FillRef skips
+		// the tag scan re-confirming absence); what remains checked
+		// every eviction is that the cache's victim matches the
+		// tracker's open residency for that line.
+		// SetOf is a mask of the block address — recovering the set from
+		// li would be a hardware divide by the runtime ways value, on the
+		// majority path of every lane-step.
+		set := llc.SetOf(a.Block)
+		llc.Policy().Hit(set, int(li-1)-set*ways, a)
+		if counting {
+			st.res.Hits++
+			r.Hits++
+		}
+		r.addCore(a.Core)
+		if a.Write {
+			r.written = true
+		}
+		return nil
+	}
+	pred := a.PredictedShared
+	var out cache.Result
+	if st.hadPred {
+		pred = st.hooks.PredictShared(*a)
+		ac := *a
+		ac.PredictedShared = pred
+		out = llc.FillRef(&ac)
+	} else {
+		out = llc.FillRef(a)
+	}
+	if counting {
+		st.res.Misses++
+	}
+	li := out.Set*ways + out.Way
+	if out.Evicted {
+		victim := &st.lines[li]
+		if victim.Block != out.Victim || st.active[victim.id] != uint32(li+1) {
+			return fmt.Errorf("sharing: evicted block %d has no tracked residency", out.Victim)
+		}
+		st.active[victim.id] = 0
+		st.closeRes(victim, a.Index)
+	}
+	st.lines[li] = Residency{
+		Block:      a.Block,
+		FillIndex:  a.Index,
+		FillCore:   a.Core,
+		FillPC:     a.PC,
+		id:         id,
+		written:    a.Write,
+		Predicted:  pred,
+		EvictIndex: -1,
+	}
+	st.lines[li].addCore(a.Core)
+	st.active[id] = uint32(li + 1)
+	return nil
+}
+
+// stepLogged advances the tracker by one access whose cache outcome was
+// already recorded by a policy pass (see runPolicyPass in multi.go): b
+// encodes the way plus hit/evicted flags, so the tracker needs neither
+// the cache nor the policy — exactly the state split that lets the
+// tracker half of a cross-set-policy lane replay set-shard by set-shard
+// while the policy half runs in stream order. Two-phase lanes never
+// carry hooks or fill-time predictions (a prediction would feed back
+// into the walk that produced the log), so the hook dispatch of step is
+// absent, and the tracker-vs-cache cross-checks become tracker-vs-log
+// checks in both directions.
+func (st *replayState) stepLogged(b uint8, setMask uint64, ways int, a *cache.AccessInfo) error {
+	counting := a.Index >= st.warmup
+	if counting {
+		st.res.Accesses++
+	}
+	id := a.BlockID
+	li := st.active[id]
+	if b&logHit != 0 {
+		if li == 0 {
+			return fmt.Errorf("sharing: policy pass hit block %d the tracker has as absent", a.Block)
+		}
+		r := &st.lines[li-1]
+		if counting {
+			st.res.Hits++
+			r.Hits++
+		}
+		r.addCore(a.Core)
+		if a.Write {
+			r.written = true
+		}
+		return nil
+	}
+	if li != 0 {
+		return fmt.Errorf("sharing: policy pass missed block %d the tracker has as resident", a.Block)
+	}
+	if counting {
+		st.res.Misses++
+	}
+	idx := int(a.Block&setMask)*ways + int(b&logWayMask)
+	if b&logEvict != 0 {
+		victim := &st.lines[idx]
+		if st.active[victim.id] != uint32(idx+1) {
+			return fmt.Errorf("sharing: evicted line (set %d way %d) holds no tracked residency", idx/ways, idx%ways)
+		}
+		st.active[victim.id] = 0
+		st.closeRes(victim, a.Index)
+	}
+	st.lines[idx] = Residency{
+		Block:      a.Block,
+		FillIndex:  a.Index,
+		FillCore:   a.Core,
+		FillPC:     a.PC,
+		id:         id,
+		written:    a.Write,
+		Predicted:  a.PredictedShared,
+		EvictIndex: -1,
+	}
+	st.lines[idx].addCore(a.Core)
+	st.active[id] = uint32(idx + 1)
+	return nil
+}
+
 // run replays accesses through llc. With order == nil the whole stream is
 // replayed in place (validating the Index invariant); otherwise only the
 // stream positions listed in order are replayed, in that order — the
@@ -361,78 +547,37 @@ func (st *replayState) run(llc *cache.SetAssoc, stream []cache.AccessInfo, order
 		if order != nil {
 			i = int(order[k])
 		}
-		a := stream[i]
-		if order == nil && a.Index != int64(i) {
-			return fmt.Errorf("sharing: stream index %d at position %d; use cache.FilterStream ordering", a.Index, i)
+		if order == nil && stream[i].Index != int64(i) {
+			return fmt.Errorf("sharing: stream index %d at position %d; use cache.FilterStream ordering", stream[i].Index, i)
 		}
-		if st.hooks.OnAccess != nil {
-			st.hooks.OnAccess(a)
+		if err := st.step(llc, ways, &stream[i]); err != nil {
+			return err
 		}
-		counting := a.Index >= st.warmup
-		if counting {
-			st.res.Accesses++
-		}
-		id := a.BlockID
-		if li := st.active[id]; li != 0 {
-			r := &st.lines[li-1]
-			// Hit path mirrors the cache's own lookup; assert agreement.
-			out := llc.Access(a)
-			if !out.Hit {
-				return fmt.Errorf("sharing: tracker and cache disagree: block %d tracked resident but missed", a.Block)
-			}
-			if counting {
-				st.res.Hits++
-				r.Hits++
-			}
-			r.addCore(a.Core)
-			if a.Write {
-				r.written = true
-			}
-			continue
-		}
-		if st.hadPred {
-			a.PredictedShared = st.hooks.PredictShared(a)
-		}
-		out := llc.Access(a)
-		if out.Hit {
-			return fmt.Errorf("sharing: tracker and cache disagree: block %d untracked but hit", a.Block)
-		}
-		if counting {
-			st.res.Misses++
-		}
-		li := out.Set*ways + out.Way
-		if out.Evicted {
-			victim := &st.lines[li]
-			if victim.Block != out.Victim || st.active[victim.id] != uint32(li+1) {
-				return fmt.Errorf("sharing: evicted block %d has no tracked residency", out.Victim)
-			}
-			st.active[victim.id] = 0
-			st.closeRes(victim, a.Index)
-		}
-		st.lines[li] = Residency{
-			Block:      a.Block,
-			FillIndex:  a.Index,
-			FillCore:   a.Core,
-			FillPC:     a.PC,
-			id:         id,
-			written:    a.Write,
-			Predicted:  a.PredictedShared,
-			EvictIndex: -1,
-		}
-		st.lines[li].addCore(a.Core)
-		st.active[id] = uint32(li + 1)
 	}
 	return nil
 }
 
-// closeAlive closes residencies still alive at stream end, in fill order
-// so hook invocation and the residency log stay deterministic. It scans
+// closeAlive closes residencies still alive at stream end. It scans
 // only the caller's own set range (sets ≡ shard mod shards; the
 // sequential replay passes shards=1 to scan everything): in the sharded
 // replay other shards may still be replaying, so reading any state
 // outside the range would race. A line holds an open residency iff its
 // EvictIndex is -1 — closed residencies are immediately overwritten by
 // the fill that evicted them, and never-filled lines hold the zero value.
+//
+// Closure order is observable only through the OnResidencyEnd hook and
+// the kept residency log (counters are order-independent sums, FillShared
+// writes are per-residency, and the block census transitions are sticky),
+// so only those replays pay for sorting the survivors into fill order.
+// At stream end the survivors are the cache's full occupancy — sorting
+// them for every (lane, shard) of a sweep is measurable.
+//
+// After closing, each survivor's slot is retired (EvictIndex set to
+// evictRetired — the logged/hooked copies keep the public -1 "alive at
+// stream end" value) and its active entry cleared. That restores the
+// scratch invariants the pool relies on (see scratch.go): no line slot
+// claims an open residency and the active table is all zero, so both
+// arrays can seed the next replay without a clearing pass.
 func (st *replayState) closeAlive(sets, ways, shards, shard int) {
 	alive := make([]*Residency, 0, 64)
 	for set := shard; set < sets; set += shards {
@@ -443,9 +588,13 @@ func (st *replayState) closeAlive(sets, ways, shards, shard int) {
 			}
 		}
 	}
-	sort.Slice(alive, func(i, j int) bool { return alive[i].FillIndex < alive[j].FillIndex })
+	if st.keep || st.hooks.OnResidencyEnd != nil {
+		sort.Slice(alive, func(i, j int) bool { return alive[i].FillIndex < alive[j].FillIndex })
+	}
 	for _, r := range alive {
 		st.closeRes(r, -1)
+		st.active[r.id] = 0
+		r.EvictIndex = evictRetired
 	}
 }
 
@@ -466,13 +615,40 @@ func census(res *Result, blockState []uint8) {
 // out at far fewer cores; 128 matches the Residency core mask width).
 const maxDegree = 128
 
-func newResult(policy string, streamLen int) *Result {
-	return &Result{
+// newResult builds an empty Result; fillLen > 0 (the stream length,
+// when Options.FillShared is set) additionally allocates the oracle bit
+// vector.
+func newResult(policy string, fillLen int) *Result {
+	res := &Result{
 		Policy:            policy,
 		DegreeResidencies: make([]uint64, maxDegree+1),
 		DegreeHits:        make([]uint64, maxDegree+1),
-		FillShared:        make([]bool, streamLen),
 	}
+	if fillLen > 0 {
+		res.FillShared = make([]bool, fillLen)
+	}
+	return res
+}
+
+// fillLen is the FillShared vector length a replay of stream should
+// allocate under opt: the stream length when recording is on, else 0
+// (leave Result.FillShared nil).
+func fillLen(opt Options, stream []cache.AccessInfo) int {
+	if opt.FillShared {
+		return len(stream)
+	}
+	return 0
+}
+
+// ensureBlockIDs resolves the stream's dense-ID annotation: an
+// Options.NumBlocks assertion skips the detection scan entirely,
+// otherwise cache.EnsureBlockIDs scans (and annotates a copy if the
+// stream was hand-built).
+func ensureBlockIDs(stream []cache.AccessInfo, opt Options) ([]cache.AccessInfo, int) {
+	if opt.NumBlocks > 0 {
+		return stream, opt.NumBlocks
+	}
+	return cache.EnsureBlockIDs(stream)
 }
 
 // Replay runs stream through a fresh cache of llcSize bytes and llcWays
@@ -489,24 +665,28 @@ func Replay(stream []cache.AccessInfo, llcSize, llcWays int, p cache.Policy, opt
 	if err != nil {
 		return nil, err
 	}
-	stream, numBlocks := cache.EnsureBlockIDs(stream)
-	res := newResult(p.Name(), len(stream))
+	stream, numBlocks := ensureBlockIDs(stream, opt)
+	res := newResult(p.Name(), fillLen(opt, stream))
 	st := &replayState{
 		res:        res,
-		lines:      make([]Residency, llc.Sets()*llc.Ways()),
-		active:     make([]uint32, numBlocks),
-		blockState: make([]uint8, numBlocks),
+		lines:      grab(&scratch.lines, llc.Sets()*llc.Ways(), false),
+		active:     grab(&scratch.words, numBlocks, false),
+		blockState: grab(&scratch.bytes, numBlocks, true),
 		warmup:     int64(opt.Warmup),
 		hooks:      opt.Hooks,
 		hadPred:    opt.Hooks.PredictShared != nil,
 		keep:       opt.KeepResidencies,
 		ctx:        opt.Ctx,
 	}
+	mem.Hugepages(res.FillShared)
 	if err := st.run(llc, stream, nil); err != nil {
 		return nil, err
 	}
 	st.closeAlive(llc.Sets(), llc.Ways(), 1, 0)
 	census(res, st.blockState)
+	put(&scratch.lines, st.lines)
+	put(&scratch.words, st.active)
+	put(&scratch.bytes, st.blockState)
 	return res, nil
 }
 
@@ -532,6 +712,30 @@ func floorPow2(n int) int {
 	return n
 }
 
+// resolveShards turns an Options.Shards request into the effective
+// worker count for a replay over streamLen accesses against a cache
+// with sets sets: 0 picks automatically, and the result is clamped to
+// the set count and rounded down to a power of two. It is the single
+// clamping rule shared by ReplayParallel and ReplayMulti (sequential
+// Replay has nothing to clamp), so the two entry points can never
+// disagree about what a shard request means.
+func resolveShards(streamLen, sets int, opt Options) int {
+	shards := opt.Shards
+	if shards == 0 {
+		shards = autoShards(streamLen)
+	}
+	if shards > sets {
+		shards = sets
+	}
+	if shards > 1 {
+		shards = floorPow2(shards)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
 // ReplayParallel is Replay with intra-workload parallelism: when the
 // policy built by newPolicy declares itself per-set independent (see
 // cache.PerSetIndependent) and no hooks are installed, the stream is
@@ -548,110 +752,45 @@ func floorPow2(n int) int {
 //
 // Policies with cross-set state (set dueling, shared RNG draws, global
 // prediction tables) and replays with hooks fall back to the sequential
-// path, as do single-shard configurations.
+// path, as does Shards == 1 — the documented way to request the plain
+// sequential replay, which the differential tests use as the reference
+// implementation. Any other setting routes through the lane engine,
+// which picks the set-partition granularity for cache locality on its
+// own (a long replay is sharded even when only one worker runs, because
+// walking the stream shard by shard keeps 1/P of the model state
+// resident instead of all of it; see replayLanes).
 func ReplayParallel(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy func() cache.Policy, opt Options) (*Result, error) {
 	sets, err := cache.Geometry(llcSize, llcWays)
 	if err != nil {
 		return nil, err
 	}
 	p := newPolicy()
-	shards := opt.Shards
-	if shards == 0 {
-		shards = autoShards(len(stream))
-	}
-	if shards > sets {
-		shards = sets
-	}
-	if shards > 1 {
-		shards = floorPow2(shards)
-	}
-	if shards <= 1 || opt.Hooks.any() || !cache.PerSetIndependent(p) {
+	if opt.Shards == 1 || opt.Hooks.any() || !cache.PerSetIndependent(p) {
 		return Replay(stream, llcSize, llcWays, p, opt)
 	}
+	l := &lane{
+		cfg:       LLCConfig{Size: llcSize, Ways: llcWays, NewPolicy: newPolicy},
+		sets:      sets,
+		inst:      p,
+		shardable: true,
+	}
+	if err := replayLanes(stream, []*lane{l}, resolveShards(len(stream), sets, opt), opt); err != nil {
+		return nil, err
+	}
+	return l.result, nil
+}
 
-	if opt.Ctx != nil {
-		if err := opt.Ctx.Err(); err != nil {
-			return nil, err
-		}
-	}
-	stream, numBlocks := cache.EnsureBlockIDs(stream)
-	mask := uint64(shards - 1)
-
-	// Counting-sort the stream positions by shard so each worker walks a
-	// contiguous index list in stream order.
-	counts := make([]int32, shards)
-	for i := range stream {
-		if stream[i].Index != int64(i) {
-			return nil, fmt.Errorf("sharing: stream index %d at position %d; use cache.FilterStream ordering", stream[i].Index, i)
-		}
-		counts[stream[i].Block&mask]++
-	}
-	offs := make([]int32, shards+1)
-	for s := 0; s < shards; s++ {
-		offs[s+1] = offs[s] + counts[s]
-	}
-	order := make([]int32, len(stream))
-	pos := make([]int32, shards)
-	copy(pos, offs[:shards])
-	for i := range stream {
-		s := stream[i].Block & mask
-		order[pos[s]] = int32(i)
-		pos[s]++
-	}
-
-	// Shared flat state: every index range is owned by exactly one shard
-	// (lines by set, active/blockState by block, FillShared by fill
-	// position), so concurrent writes never collide.
-	lines := make([]Residency, sets*llcWays)
-	active := make([]uint32, numBlocks)
-	blockState := make([]uint8, numBlocks)
-	fillShared := make([]bool, len(stream))
-
-	results := make([]*Result, shards)
-	errs := make([]error, shards)
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			pol := p
-			if s != 0 {
-				pol = newPolicy()
-			}
-			llc, err := cache.NewSetAssoc(llcSize, llcWays, pol)
-			if err != nil {
-				errs[s] = err
-				return
-			}
-			res := newResult(pol.Name(), 0)
-			res.FillShared = fillShared
-			st := &replayState{
-				res:        res,
-				lines:      lines,
-				active:     active,
-				blockState: blockState,
-				warmup:     int64(opt.Warmup),
-				keep:       opt.KeepResidencies,
-				ctx:        opt.Ctx,
-			}
-			if err := st.run(llc, stream, order[offs[s]:offs[s+1]]); err != nil {
-				errs[s] = err
-				return
-			}
-			st.closeAlive(sets, llcWays, shards, s)
-			results[s] = res
-		}(s)
-	}
-	wg.Wait()
-	for s := 0; s < shards; s++ {
-		if errs[s] != nil {
-			return nil, errs[s]
-		}
-	}
-
-	merged := newResult(p.Name(), 0)
+// mergeLane folds the per-shard partial results of one lane into its
+// final Result, bit-identical to the sequential replay: counters are
+// order-independent sums, the block census comes from the shared
+// blockState array, and the residency log is re-sorted into the
+// sequential closure order (evictions by evicting index, then
+// stream-end survivors by fill index — an access closes at most one
+// residency, so the order is total).
+func mergeLane(policyName string, fillShared []bool, parts []*Result, blockState []uint8, keep bool) *Result {
+	merged := newResult(policyName, 0)
 	merged.FillShared = fillShared
-	for _, r := range results {
+	for _, r := range parts {
 		merged.Accesses += r.Accesses
 		merged.Hits += r.Hits
 		merged.Misses += r.Misses
@@ -670,10 +809,7 @@ func ReplayParallel(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy f
 		merged.ResidencyLog = append(merged.ResidencyLog, r.ResidencyLog...)
 	}
 	census(merged, blockState)
-	if opt.KeepResidencies {
-		// Restore the sequential closure order: an access evicts at most
-		// one residency and fills at most one line, so evicting indices
-		// (and fill indices among survivors) are unique.
+	if keep {
 		log := merged.ResidencyLog
 		sort.Slice(log, func(i, j int) bool {
 			ei, ej := log[i].EvictIndex, log[j].EvictIndex
@@ -686,5 +822,5 @@ func ReplayParallel(stream []cache.AccessInfo, llcSize, llcWays int, newPolicy f
 			return log[i].FillIndex < log[j].FillIndex
 		})
 	}
-	return merged, nil
+	return merged
 }

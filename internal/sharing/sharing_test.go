@@ -41,7 +41,7 @@ func replay(t *testing.T, stream []cache.AccessInfo, opt Options) *Result {
 func TestPrivateResidency(t *testing.T) {
 	// One core touches one block three times: 1 residency, private,
 	// 2 hits.
-	res := replay(t, mkStream([][2]uint64{{0, 1}, {0, 1}, {0, 1}}), Options{})
+	res := replay(t, mkStream([][2]uint64{{0, 1}, {0, 1}, {0, 1}}), Options{FillShared: true})
 	if res.Accesses != 3 || res.Hits != 2 || res.Misses != 1 {
 		t.Fatalf("counts = (%d,%d,%d), want (3,2,1)", res.Accesses, res.Hits, res.Misses)
 	}
@@ -59,7 +59,7 @@ func TestPrivateResidency(t *testing.T) {
 func TestSharedResidency(t *testing.T) {
 	// Core 0 fills, core 1 hits: the residency is shared, and BOTH hits
 	// (including core 0's own later hit) count as shared hit volume.
-	res := replay(t, mkStream([][2]uint64{{0, 1}, {1, 1}, {0, 1}}), Options{})
+	res := replay(t, mkStream([][2]uint64{{0, 1}, {1, 1}, {0, 1}}), Options{FillShared: true})
 	if res.SharedHits != 2 || res.PrivateHits != 0 {
 		t.Errorf("hit split = (%d,%d), want (2,0)", res.SharedHits, res.PrivateHits)
 	}
@@ -336,7 +336,7 @@ func TestConservationProperties(t *testing.T) {
 		for i := range pairs {
 			pairs[i] = [2]uint64{rnd.Uint64n(8), rnd.Uint64n(96)}
 		}
-		res := replay(t, mkStream(pairs), Options{})
+		res := replay(t, mkStream(pairs), Options{FillShared: true})
 		if res.Hits+res.Misses != res.Accesses {
 			return false
 		}
@@ -450,7 +450,7 @@ func TestWarmupKeepsOracleKnowledgeComplete(t *testing.T) {
 	// mark FillShared (oracle knowledge is a stream property).
 	pairs := [][2]uint64{{0, 1}, {1, 1}, {0, 9}, {0, 9}}
 	stream := mkStream(pairs)
-	res, err := Replay(stream, testSize, testWays, cache.NewLRU(), Options{Warmup: 4})
+	res, err := Replay(stream, testSize, testWays, cache.NewLRU(), Options{Warmup: 4, FillShared: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,7 +53,8 @@ func (s *Suite) Characterize(llcSize, llcWays int) ([]CharRow, error) {
 	err := s.par(len(s.Streams), func(i int) error {
 		st := s.Streams[i]
 		res, err := sharing.ReplayParallel(st.Accesses, llcSize, llcWays,
-			func() cache.Policy { return policy.NewLRUPolicy() }, sharing.Options{Shards: shards, Ctx: s.context()})
+			func() cache.Policy { return policy.NewLRUPolicy() },
+			st.ReplayOptions(shards, s.context()))
 		if err != nil {
 			return fmt.Errorf("characterize %s: %w", st.Model.Name, err)
 		}
@@ -253,8 +254,9 @@ type PolicyRow struct {
 }
 
 // ComparePolicies replays every workload under every named policy
-// (experiment F4). Rows are grouped by workload in suite order, policies
-// in the order given.
+// (experiment F4) — one fused replay per workload drives all policy
+// lanes in a single stream pass. Rows are grouped by workload in suite
+// order, policies in the order given.
 func (s *Suite) ComparePolicies(llcSize, llcWays int, names []string) ([]PolicyRow, error) {
 	if len(names) == 0 {
 		names = policy.Names(s.Config.Seed)
@@ -267,49 +269,47 @@ func (s *Suite) ComparePolicies(llcSize, llcWays int, names []string) ([]PolicyR
 		}
 		factories[i] = f
 	}
-	type cell struct{ w, p int }
-	cells := make([]cell, 0, len(s.Streams)*len(names))
-	for w := range s.Streams {
-		for p := range names {
-			cells = append(cells, cell{w, p})
-		}
-	}
-	shards := s.shardsFor(len(cells))
-	rows := make([]PolicyRow, len(cells))
+	shards := s.shardsFor(len(s.Streams))
+	rows := make([]PolicyRow, len(s.Streams)*len(names))
 	var done atomic.Int64
-	err := s.par(len(cells), func(i int) error {
-		c := cells[i]
-		st := s.Streams[c.w]
-		res, err := sharing.ReplayParallel(st.Accesses, llcSize, llcWays, factories[c.p],
-			sharing.Options{Shards: shards, Ctx: s.context()})
-		if err != nil {
-			return fmt.Errorf("comparing %s under %s: %w", st.Model.Name, names[c.p], err)
+	err := s.par(len(s.Streams), func(w int) error {
+		st := s.Streams[w]
+		configs := make([]sharing.LLCConfig, len(names))
+		for p, f := range factories {
+			configs[p] = sharing.LLCConfig{Size: llcSize, Ways: llcWays, NewPolicy: f}
 		}
-		defer s.step(&done, len(cells), st.Model.Name)
-		rows[i] = PolicyRow{
-			Workload:      st.Model.Name,
-			Policy:        res.Policy,
-			Misses:        res.Misses,
-			MissRate:      res.MissRate(),
-			SharedHits:    res.SharedHits,
-			SharedHitFrac: res.SharedHitFraction(),
+		results, err := sharing.ReplayMulti(st.Accesses, configs,
+			st.ReplayOptions(shards, s.context()))
+		if err != nil {
+			return fmt.Errorf("comparing %s: %w", st.Model.Name, err)
+		}
+		defer s.step(&done, len(s.Streams), st.Model.Name)
+		// Fused results arrive grouped per workload, so LRU normalization
+		// reads straight from this group — no cross-row second pass.
+		var lruMisses uint64
+		for _, res := range results {
+			if res.Policy == "lru" {
+				lruMisses = res.Misses
+			}
+		}
+		for p, res := range results {
+			row := PolicyRow{
+				Workload:      st.Model.Name,
+				Policy:        res.Policy,
+				Misses:        res.Misses,
+				MissRate:      res.MissRate(),
+				SharedHits:    res.SharedHits,
+				SharedHitFrac: res.SharedHitFraction(),
+			}
+			if lruMisses > 0 {
+				row.MissesVsLRU = float64(res.Misses) / float64(lruMisses)
+			}
+			rows[w*len(names)+p] = row
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
-	}
-	// Normalize to each workload's LRU misses.
-	lru := map[string]uint64{}
-	for _, r := range rows {
-		if r.Policy == "lru" {
-			lru[r.Workload] = r.Misses
-		}
-	}
-	for i := range rows {
-		if base, ok := lru[rows[i].Workload]; ok && base > 0 {
-			rows[i].MissesVsLRU = float64(rows[i].Misses) / float64(base)
-		}
 	}
 	return rows, nil
 }
@@ -333,12 +333,13 @@ type OracleRow struct {
 }
 
 // OracleStudy runs the two-pass oracle experiment for each workload and
-// each named base policy at the given strength.
+// each named base policy at the given strength — all 2×|policies| lanes
+// of one workload fused into a single stream pass.
 func (s *Suite) OracleStudy(llcSize, llcWays int, names []string, opts core.Options) ([]OracleRow, error) {
 	if len(names) == 0 {
 		names = []string{"lru"}
 	}
-	factories := make([]policy.Factory, len(names))
+	factories := make([]func() cache.Policy, len(names))
 	for i, n := range names {
 		f, err := policy.ByName(n, s.Config.Seed)
 		if err != nil {
@@ -346,37 +347,30 @@ func (s *Suite) OracleStudy(llcSize, llcWays int, names []string, opts core.Opti
 		}
 		factories[i] = f
 	}
-	type cell struct{ w, p int }
-	cells := make([]cell, 0, len(s.Streams)*len(names))
-	for w := range s.Streams {
-		for p := range names {
-			cells = append(cells, cell{w, p})
-		}
-	}
-	shards := s.shardsFor(len(cells))
-	rows := make([]OracleRow, len(cells))
+	shards := s.shardsFor(len(s.Streams))
+	rows := make([]OracleRow, len(s.Streams)*len(names))
 	var done atomic.Int64
-	err := s.par(len(cells), func(i int) error {
-		c := cells[i]
-		st := s.Streams[c.w]
-		f := factories[c.p]
-		res, err := oracle.RunHorizonShards(s.context(), st.Accesses, llcSize, llcWays,
-			func() cache.Policy { return f() }, opts, oracle.HorizonFactor, shards)
+	err := s.par(len(s.Streams), func(w int) error {
+		st := s.Streams[w]
+		results, err := oracle.RunMultiPolicies(s.context(), st.Accesses, llcSize, llcWays,
+			factories, opts, oracle.HorizonFactor, st.ReplayOptions(shards, s.context()))
 		if err != nil {
-			return fmt.Errorf("oracle study %s/%s: %w", st.Model.Name, names[c.p], err)
+			return fmt.Errorf("oracle study %s: %w", st.Model.Name, err)
 		}
-		defer s.step(&done, len(cells), st.Model.Name)
-		rows[i] = OracleRow{
-			Workload:            st.Model.Name,
-			Policy:              names[c.p],
-			BaseMisses:          res.Base.Misses,
-			OracleMisses:        res.Oracle.Misses,
-			Reduction:           res.MissReduction(),
-			BaseSharedHitFrac:   res.Base.SharedHitFraction(),
-			OracleSharedHitFrac: res.Oracle.SharedHitFraction(),
-			AMATSpeedup: DefaultLatency().AMATSpeedup(st,
-				res.Base.Hits, res.Base.Misses, res.Oracle.Hits, res.Oracle.Misses),
-			Protector: res.Stats,
+		defer s.step(&done, len(s.Streams), st.Model.Name)
+		for p, res := range results {
+			rows[w*len(names)+p] = OracleRow{
+				Workload:            st.Model.Name,
+				Policy:              names[p],
+				BaseMisses:          res.Base.Misses,
+				OracleMisses:        res.Oracle.Misses,
+				Reduction:           res.MissReduction(),
+				BaseSharedHitFrac:   res.Base.SharedHitFraction(),
+				OracleSharedHitFrac: res.Oracle.SharedHitFraction(),
+				AMATSpeedup: DefaultLatency().AMATSpeedup(st,
+					res.Base.Hits, res.Base.Misses, res.Oracle.Hits, res.Oracle.Misses),
+				Protector: res.Stats,
+			}
 		}
 		return nil
 	})
@@ -424,11 +418,13 @@ func MultiprogrammedOracleCtx(ctx context.Context, mixes [][]workloads.Model, ma
 		if err != nil {
 			return err
 		}
-		res, err := oracle.RunHorizonShards(ctx, st.Accesses, llcSize, llcWays,
-			func() cache.Policy { return policy.NewLRUPolicy() }, opts, oracle.HorizonFactor, shards)
+		ress, err := oracle.RunMultiPolicies(ctx, st.Accesses, llcSize, llcWays,
+			[]func() cache.Policy{func() cache.Policy { return policy.NewLRUPolicy() }},
+			opts, oracle.HorizonFactor, st.ReplayOptions(shards, ctx))
 		if err != nil {
 			return fmt.Errorf("multiprogrammed oracle %s: %w", st.Model.Name, err)
 		}
+		res := ress[0]
 		rows[i] = OracleRow{
 			Workload:            st.Model.Name,
 			Policy:              "lru",
@@ -460,26 +456,20 @@ func (s *Suite) OracleHorizonSweep(llcSize, llcWays int, factors []int, opts cor
 	if len(factors) == 0 {
 		factors = []int{1, 2, 4, 8}
 	}
-	type cell struct{ w, f int }
-	cells := make([]cell, 0, len(s.Streams)*len(factors))
-	for w := range s.Streams {
-		for f := range factors {
-			cells = append(cells, cell{w, f})
-		}
-	}
-	shards := s.shardsFor(len(cells))
-	rows := make([]HorizonRow, len(cells))
+	shards := s.shardsFor(len(s.Streams))
+	rows := make([]HorizonRow, len(s.Streams)*len(factors))
 	var done atomic.Int64
-	err := s.par(len(cells), func(i int) error {
-		c := cells[i]
-		st := s.Streams[c.w]
-		res, err := oracle.RunHorizonShards(s.context(), st.Accesses, llcSize, llcWays,
-			func() cache.Policy { return policy.NewLRUPolicy() }, opts, factors[c.f], shards)
+	err := s.par(len(s.Streams), func(w int) error {
+		st := s.Streams[w]
+		results, err := oracle.RunMultiHorizons(s.context(), st.Accesses, llcSize, llcWays,
+			func() cache.Policy { return policy.NewLRUPolicy() }, opts, factors, st.ReplayOptions(shards, s.context()))
 		if err != nil {
-			return fmt.Errorf("horizon sweep %s/%d: %w", st.Model.Name, factors[c.f], err)
+			return fmt.Errorf("horizon sweep %s: %w", st.Model.Name, err)
 		}
-		rows[i] = HorizonRow{Workload: st.Model.Name, Factor: factors[c.f], Reduction: res.MissReduction()}
-		s.step(&done, len(cells), st.Model.Name)
+		defer s.step(&done, len(s.Streams), st.Model.Name)
+		for f, res := range results {
+			rows[w*len(factors)+f] = HorizonRow{Workload: st.Model.Name, Factor: factors[f], Reduction: res.MissReduction()}
+		}
 		return nil
 	})
 	return rows, err
@@ -538,43 +528,40 @@ type PredictorRow struct {
 }
 
 // PredictorAccuracy measures fill-time prediction quality without letting
-// predictions influence replacement, under the LRU base policy.
+// predictions influence replacement, under the LRU base policy. All of a
+// workload's predictor lanes ride one fused stream pass.
 func (s *Suite) PredictorAccuracy(llcSize, llcWays int, cfg predictor.Config, names []string) ([]PredictorRow, error) {
 	if len(names) == 0 {
 		names = PredictorNames()
 	}
-	type cell struct {
-		w int
-		p string
-	}
-	cells := make([]cell, 0, len(s.Streams)*len(names))
-	for w := range s.Streams {
-		for _, p := range names {
-			cells = append(cells, cell{w, p})
-		}
-	}
-	rows := make([]PredictorRow, len(cells))
+	rows := make([]PredictorRow, len(s.Streams)*len(names))
 	var done atomic.Int64
-	err := s.par(len(cells), func(i int) error {
-		c := cells[i]
-		st := s.Streams[c.w]
-		pred, err := newPredictor(c.p, cfg)
-		if err != nil {
-			return err
+	err := s.par(len(s.Streams), func(w int) error {
+		st := s.Streams[w]
+		preds := make([]predictor.Predictor, len(names))
+		for p, n := range names {
+			pred, err := newPredictor(n, cfg)
+			if err != nil {
+				return err
+			}
+			preds[p] = pred
 		}
-		res, err := predictor.EvaluateCtx(s.context(), st.Accesses, llcSize, llcWays, policy.NewLRUPolicy(), pred)
+		results, err := predictor.EvaluateMulti(s.context(), st.Accesses, llcSize, llcWays,
+			func() cache.Policy { return policy.NewLRUPolicy() }, preds)
 		if err != nil {
-			return fmt.Errorf("predictor accuracy %s/%s: %w", st.Model.Name, c.p, err)
+			return fmt.Errorf("predictor accuracy %s: %w", st.Model.Name, err)
 		}
-		defer s.step(&done, len(cells), st.Model.Name)
-		rows[i] = PredictorRow{
-			Workload:       st.Model.Name,
-			Predictor:      c.p,
-			Pred:           res.Pred,
-			Accuracy:       res.Pred.Accuracy(),
-			Precision:      res.Pred.Precision(),
-			Recall:         res.Pred.Recall(),
-			SharedBaseRate: stats.Ratio(res.SharedResidencies, res.Residencies),
+		defer s.step(&done, len(s.Streams), st.Model.Name)
+		for p, res := range results {
+			rows[w*len(names)+p] = PredictorRow{
+				Workload:       st.Model.Name,
+				Predictor:      names[p],
+				Pred:           res.Pred,
+				Accuracy:       res.Pred.Accuracy(),
+				Precision:      res.Pred.Precision(),
+				Recall:         res.Pred.Recall(),
+				SharedBaseRate: stats.Ratio(res.SharedResidencies, res.Residencies),
+			}
 		}
 		return nil
 	})
@@ -598,66 +585,67 @@ type DrivenRow struct {
 }
 
 // PredictorDriven runs the F8 experiment for each workload and predictor
-// under the LRU base policy at the given strength.
+// under the LRU base policy at the given strength. Every leg of one
+// workload — the bare base, the oracle ceiling, and each driven
+// predictor — is a lane of one fused stream pass.
 func (s *Suite) PredictorDriven(llcSize, llcWays int, cfg predictor.Config, names []string, opts core.Options) ([]DrivenRow, error) {
 	if len(names) == 0 {
 		names = []string{"addr", "pc"}
 	}
-	// The oracle ceiling depends only on the workload, so compute it once
-	// per stream rather than once per (workload, predictor) cell.
-	oracles := make([]*oracle.Result, len(s.Streams))
 	shards := s.shardsFor(len(s.Streams))
+	rows := make([]DrivenRow, len(s.Streams)*len(names))
+	var done atomic.Int64
 	err := s.par(len(s.Streams), func(w int) error {
 		st := s.Streams[w]
-		orc, err := oracle.RunHorizonShards(s.context(), st.Accesses, llcSize, llcWays,
-			func() cache.Policy { return policy.NewLRUPolicy() }, opts, oracle.HorizonFactor, shards)
+		// Lane 0: bare LRU (the base). Lane 1: the hint-driven oracle
+		// ceiling. Lanes 2..: one protector per realistic predictor.
+		// Hook lanes call NewPolicy exactly once, so the factories can
+		// stash each protector for its post-replay intervention stats.
+		horizon := int64(oracle.HorizonFactor) * int64(llcSize/64)
+		hints := oracle.SharedHints(st.Accesses, horizon)
+		configs := make([]sharing.LLCConfig, 2+len(names))
+		prots := make([]*core.Protector, 1+len(names))
+		protected := func(k int) func() cache.Policy {
+			return func() cache.Policy {
+				p := core.NewProtectorOpts(policy.NewLRUPolicy(), opts)
+				prots[k] = p
+				return p
+			}
+		}
+		configs[0] = sharing.LLCConfig{Size: llcSize, Ways: llcWays,
+			NewPolicy: func() cache.Policy { return policy.NewLRUPolicy() }}
+		configs[1] = sharing.LLCConfig{Size: llcSize, Ways: llcWays, NewPolicy: protected(0),
+			Hooks: sharing.Hooks{PredictShared: func(a cache.AccessInfo) bool { return hints[a.Index] }}}
+		for p, n := range names {
+			pred, err := newPredictor(n, cfg)
+			if err != nil {
+				return err
+			}
+			configs[2+p] = sharing.LLCConfig{Size: llcSize, Ways: llcWays,
+				NewPolicy: protected(1 + p), Hooks: predictor.HooksFor(pred)}
+		}
+		results, err := sharing.ReplayMulti(st.Accesses, configs,
+			st.ReplayOptions(shards, s.context()))
 		if err != nil {
-			return fmt.Errorf("predictor driven %s (oracle leg): %w", st.Model.Name, err)
+			return fmt.Errorf("predictor driven %s: %w", st.Model.Name, err)
 		}
-		oracles[w] = orc
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	type cell struct {
-		w int
-		p string
-	}
-	cells := make([]cell, 0, len(s.Streams)*len(names))
-	for w := range s.Streams {
-		for _, p := range names {
-			cells = append(cells, cell{w, p})
+		defer s.step(&done, len(s.Streams), st.Model.Name)
+		base, orc := results[0], results[1]
+		for p := range names {
+			row := DrivenRow{
+				Workload:     st.Model.Name,
+				Predictor:    names[p],
+				BaseMisses:   base.Misses,
+				DrivenMisses: results[2+p].Misses,
+				OracleMisses: orc.Misses,
+				Protector:    prots[1+p].Stats(),
+			}
+			if row.BaseMisses > 0 {
+				row.Reduction = float64(int64(row.BaseMisses)-int64(row.DrivenMisses)) / float64(row.BaseMisses)
+				row.OracleReduction = float64(int64(row.BaseMisses)-int64(row.OracleMisses)) / float64(row.BaseMisses)
+			}
+			rows[w*len(names)+p] = row
 		}
-	}
-	rows := make([]DrivenRow, len(cells))
-	var done atomic.Int64
-	err = s.par(len(cells), func(i int) error {
-		c := cells[i]
-		st := s.Streams[c.w]
-		orc := oracles[c.w]
-		pred, err := newPredictor(c.p, cfg)
-		if err != nil {
-			return err
-		}
-		res, pstats, err := predictor.DriveOptsCtx(s.context(), st.Accesses, llcSize, llcWays, policy.NewLRUPolicy(), pred, opts)
-		if err != nil {
-			return fmt.Errorf("predictor driven %s/%s: %w", st.Model.Name, c.p, err)
-		}
-		defer s.step(&done, len(cells), st.Model.Name)
-		row := DrivenRow{
-			Workload:     st.Model.Name,
-			Predictor:    c.p,
-			BaseMisses:   orc.Base.Misses,
-			DrivenMisses: res.Misses,
-			OracleMisses: orc.Oracle.Misses,
-			Protector:    pstats,
-		}
-		if row.BaseMisses > 0 {
-			row.Reduction = float64(int64(row.BaseMisses)-int64(row.DrivenMisses)) / float64(row.BaseMisses)
-			row.OracleReduction = float64(int64(row.BaseMisses)-int64(row.OracleMisses)) / float64(row.BaseMisses)
-		}
-		rows[i] = row
 		return nil
 	})
 	return rows, err

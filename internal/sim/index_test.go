@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -95,7 +96,13 @@ func TestSuiteContextCancelsExperiments(t *testing.T) {
 		t.Errorf("pre-cancelled Characterize: err = %v, want context.Canceled", err)
 	}
 
-	// Mid-flight: cancel once the first progress callback fires.
+	// Mid-flight: cancel once the first progress callback fires. The
+	// fused F4 has only one work unit per workload, so pin the outer
+	// fan-out to a single worker: unit 1 completes, fires the callback,
+	// and the sequential claim loop must then see the cancelled context
+	// before touching unit 2.
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	defer cancel2()
 	var once sync.Once
@@ -105,9 +112,6 @@ func TestSuiteContextCancelsExperiments(t *testing.T) {
 	start := time.Now()
 	_, err := s2.ComparePolicies(256*cache.KB, 8, nil)
 	if err == nil {
-		// The run can legitimately finish if the last cell completed
-		// first — but with 2 workloads × full policy list that is a
-		// bug in the plumbing.
 		t.Fatal("ComparePolicies completed despite cancellation")
 	}
 	if !errors.Is(err, context.Canceled) {

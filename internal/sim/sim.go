@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"sharellc/internal/cache"
+	"sharellc/internal/sharing"
 	"sharellc/internal/workloads"
 )
 
@@ -71,6 +72,45 @@ type Stream struct {
 	TraceLen  uint64 // raw references generated
 	L1Hits    uint64
 	L2Hits    uint64
+
+	// partMu guards parts, the memoized counting-sort shard partitions
+	// of Accesses keyed by shard count. Experiments at different LLC
+	// geometries resolve to the same few shard counts, so each partition
+	// is built once per stream and shared (it is immutable once built).
+	partMu sync.Mutex
+	parts  map[int]*sharing.PartitionIndex
+}
+
+// Partitioner returns the sharing.Partitioner serving this stream's
+// cached shard partitions, building each requested shard count at most
+// once. Safe for concurrent use across experiment workers.
+func (s *Stream) Partitioner() sharing.Partitioner {
+	return func(shards int) (*sharing.PartitionIndex, error) {
+		s.partMu.Lock()
+		defer s.partMu.Unlock()
+		if p, ok := s.parts[shards]; ok {
+			return p, nil
+		}
+		p, err := sharing.BuildPartition(s.Accesses, shards)
+		if err != nil {
+			return nil, err
+		}
+		if s.parts == nil {
+			s.parts = make(map[int]*sharing.PartitionIndex)
+		}
+		s.parts[shards] = p
+		return p, nil
+	}
+}
+
+// ReplayOptions bundles the stream's replay tuning — the cached shard
+// partitions and the known distinct-block count, both skipping
+// full-stream preparation scans inside the replay — with the caller's
+// worker bound and cancellation context. Every experiment replaying
+// this stream should build its sharing.Options here so no stream-level
+// memoization is forgotten at any call site.
+func (s *Stream) ReplayOptions(shards int, ctx context.Context) sharing.Options {
+	return sharing.Options{Shards: shards, Ctx: ctx, Partitioner: s.Partitioner(), NumBlocks: s.NumBlocks}
 }
 
 // LLCAPKI returns LLC accesses per thousand raw references — a coarse

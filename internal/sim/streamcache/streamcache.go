@@ -40,8 +40,11 @@ import (
 // codecVersion is the snapshot format version. It participates in both
 // the cache key and the file magic, so a bump invalidates every existing
 // snapshot (old files are simply never looked up again, and a forged
-// lookup ignores them on the magic check).
-const codecVersion = 1
+// lookup ignores them on the magic check). Version 2: BlockIDs became
+// shard-major (cache.AssignBlockIDs) — the byte format is unchanged,
+// but older snapshots carry the first-touch numbering, which would
+// silently forfeit the sharded replay's locality.
+const codecVersion = 2
 
 // DefaultMemBudget bounds resident stream bytes when Options.MemBudget
 // is zero: two full-size 22-workload suites fit comfortably.

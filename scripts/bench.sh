@@ -3,14 +3,15 @@
 # as JSON for cross-PR regression tracking.
 #
 # Pinned set: the F1/F2 characterization benchmarks (the replay engine's
-# hot path, full-size suite) and F9 (the stream-side analyzers), three
+# hot path, full-size suite), F9 (the stream-side analyzers), and the PR 4
+# ComparePoliciesSuite sweep (the fused multi-policy replay), three
 # counted runs each, plus the PR 3 stream-cache pair (suite construction
-# cold vs. warm). The first F1/F2/F9 iteration also pays the one-time
+# cold vs. warm). The first iteration of each also pays the one-time
 # suite build (sync.Once); it is recorded separately as the "cold" sample
 # so the steady-state statistics are not skewed by it.
 #
 #   scripts/bench.sh [output.json] [baseline.json]
-#     default output:   BENCH_PR3.json
+#     default output:   BENCH_PR4.json
 #     default baseline: BENCH_PR1.json (skipped when absent)
 #
 # SHARELLC_BENCH_SCALE (default 1 = full size) scales the suite used by
@@ -22,9 +23,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 BASELINE="${2:-BENCH_PR1.json}"
-BENCHES='^(BenchmarkF1SharedHitFraction4MB|BenchmarkF2SharedHitFraction8MB|BenchmarkF9SharingPhases)$'
+BENCHES='^(BenchmarkF1SharedHitFraction4MB|BenchmarkF2SharedHitFraction8MB|BenchmarkF9SharingPhases|BenchmarkComparePoliciesSuite)$'
 SUITE_BENCHES='^(BenchmarkSuiteBuildCold|BenchmarkSuiteBuildWarm)$'
 export SHARELLC_BENCH_SCALE="${SHARELLC_BENCH_SCALE:-1}"
 RAW="$(mktemp)"
