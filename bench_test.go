@@ -152,6 +152,22 @@ func BenchmarkComparePoliciesSuite(b *testing.B) {
 	}
 }
 
+// BenchmarkComparePoliciesSuiteScalar is the same sweep forced through
+// the scalar replay kernel. Running it back to back with
+// BenchmarkComparePoliciesSuite in one process (shared suite build,
+// interleaved iterations via -count) gives the batch kernel's A/B
+// without cross-run noise; it is not part of the pinned bench.sh set.
+func BenchmarkComparePoliciesSuiteScalar(b *testing.B) {
+	s := fullSuite(b).WithKernel(sharellc.KernelScalar)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.ComparePolicies(llc4MB, ways, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "rows")
+	}
+}
+
 // itoa is a terse strconv.Itoa alias for metric names.
 func itoa(v int) string { return strconv.Itoa(v) }
 

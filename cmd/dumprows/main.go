@@ -3,17 +3,25 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"sharellc/internal/cache"
 	"sharellc/internal/core"
 	"sharellc/internal/predictor"
+	"sharellc/internal/sharing"
 	"sharellc/internal/sim"
 	"sharellc/internal/workloads"
 )
 
 func main() {
+	kernel := flag.String("kernel", "batch", "replay kernel: batch or scalar")
+	flag.Parse()
+	kern, err := sharing.ParseKernel(*kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
 	models := make([]workloads.Model, 0, 3)
 	for _, name := range []string{"canneal", "streamcluster", "swaptions"} {
 		m, err := workloads.ByName(name)
@@ -32,6 +40,7 @@ func main() {
 		Seed:   1,
 		Scale:  0.05,
 		Models: models,
+		Kernel: kern,
 	}
 	s, err := sim.NewSuite(cfg)
 	if err != nil {

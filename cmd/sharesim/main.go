@@ -47,6 +47,7 @@ import (
 	"sharellc/internal/cache"
 	"sharellc/internal/core"
 	"sharellc/internal/report"
+	"sharellc/internal/sharing"
 	"sharellc/internal/sim"
 	"sharellc/internal/sim/streamcache"
 )
@@ -65,6 +66,7 @@ type options struct {
 	ways      int
 	scale     float64
 	seed      uint64
+	kernel    sharing.Kernel
 	prot      core.Options
 	policies  []string
 	workloads []string
@@ -84,6 +86,7 @@ func run(w io.Writer, args []string) error {
 		scale    = fs.Float64("scale", 1, "workload scale factor (1 = full size)")
 		seed     = fs.Uint64("seed", 1, "master random seed")
 		strength = fs.String("strength", "full", "protection strength: full or insert-only")
+		kernel   = fs.String("kernel", "batch", "fused-replay kernel: batch or scalar")
 		skip     = fs.Int("skip-budget", 0, "protected-block skip budget (0 = default, <0 = unlimited)")
 		clear    = fs.Bool("clear-on-hit", false, "drop protection once the predicted cross-core hit arrives")
 		pols     = fs.String("policies", "lru,nru,srrip,drrip,ship", "comma-separated policies for f5")
@@ -110,6 +113,10 @@ func run(w io.Writer, args []string) error {
 		o.prot.Strength = core.InsertOnly
 	default:
 		return fmt.Errorf("unknown strength %q (want full or insert-only)", *strength)
+	}
+	var err error
+	if o.kernel, err = sharing.ParseKernel(*kernel); err != nil {
+		return fmt.Errorf("unknown kernel %q (want batch or scalar)", *kernel)
 	}
 	o.prot.SkipBudget = *skip
 	o.prot.ClearOnFulfil = *clear
@@ -159,6 +166,7 @@ func dispatch(w io.Writer, o options) error {
 			Seed:    o.seed,
 			Scale:   o.scale,
 			Models:  models,
+			Kernel:  o.kernel,
 		}
 		var streams *streamcache.Cache
 		if dir, ok := streamcache.DirFromFlag(o.cachedir); ok {

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"sharellc/internal/server"
+	"sharellc/internal/sharing"
 	"sharellc/internal/sim/streamcache"
 )
 
@@ -40,8 +41,14 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 		cachedir = flag.String("cachedir", "auto", "stream snapshot directory (auto = user cache dir, off = no snapshots; streams are still shared in-process)")
 		memMB    = flag.Int64("stream-mem", 0, "in-process stream cache budget in MB (0 = default, <0 = unlimited)")
+		kernel   = flag.String("kernel", "batch", "fused-replay kernel: batch or scalar")
 	)
 	flag.Parse()
+
+	kern, err := sharing.ParseKernel(*kernel)
+	if err != nil {
+		log.Fatalf("unknown kernel %q (want batch or scalar)", *kernel)
+	}
 
 	// Jobs always share built streams in-process; -cachedir only decides
 	// whether they also persist across daemon restarts.
@@ -57,6 +64,7 @@ func main() {
 		CacheSize:   *cacheN,
 		QueueDepth:  *queueN,
 		StreamCache: streams,
+		Kernel:      kern,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

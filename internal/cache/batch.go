@@ -1,0 +1,132 @@
+package cache
+
+// Batched replay entry points.
+//
+// AccessRef and FillRef are per-access calls: every access pays the call
+// itself, a Result struct moving through registers, and the branchy
+// interleaving of tag, validity and policy work. The batch kernel of
+// internal/sharing instead presents accesses in chunks and consumes one
+// packed outcome word per access, so the probe runs as a single tight
+// loop whose only unavoidable per-access calls are the policy's own
+// Hit/Victim/Fill notifications. ReplayBatch walks a slice of
+// AccessInfo records (the stream-order policy pass of a two-phase
+// lane); ReplayBatchCols walks pre-decoded block and BlockID columns
+// (the set-sharded walk, whose decode phase builds the columns once per
+// shard and reuses them across every lane), touching the full record
+// only where the policy contract requires the pointer.
+//
+// Both variants probe through the caller's residency table instead of
+// scanning tags — the same trust the scalar replay places in
+// sharing.replayState (see FillRef): active maps BlockID → 1+line index
+// for every resident block, lineID is the reverse map the eviction path
+// uses to clear the victim's entry, and both must describe exactly this
+// cache's contents. Like the scalar fast path, a write hit does not set
+// the line dirty bit — dirtiness feeds writeback modelling in the
+// private hierarchy, not the LLC policy study.
+
+// Batch outcome word layout: bits 0–29 carry the line index
+// (set*ways+way), BatchHit marks a hit, BatchEvict marks a fill that
+// displaced a valid line. A fill into an invalid way sets neither flag.
+const (
+	BatchLine  uint32 = 1<<30 - 1
+	BatchHit   uint32 = 1 << 30
+	BatchEvict uint32 = 1 << 31
+)
+
+// ReplayBatch presents accs to the cache in one tight loop, writing one
+// outcome word per access into out (len(out) must be ≥ len(accs)) and
+// maintaining the caller's active/lineID residency tables. Counters
+// advance as if each access had gone through AccessRef.
+func (c *SetAssoc) ReplayBatch(accs []AccessInfo, active, lineID, out []uint32) {
+	pol := c.policy
+	ways := c.ways
+	mask := c.mask
+	var hits, fills, evicts uint64
+	for k := range accs {
+		a := &accs[k]
+		if li := active[a.BlockID]; li != 0 {
+			set := int(a.Block & mask)
+			pol.Hit(set, int(li-1)-set*ways, a)
+			out[k] = (li - 1) | BatchHit
+			hits++
+			continue
+		}
+		set := int(a.Block & mask)
+		li, o := c.fillSlot(set, a)
+		if o != 0 {
+			active[lineID[li]] = 0
+			evicts++
+		}
+		c.lines[li] = makeLine(a.Block, a.Write)
+		pol.Fill(set, int(li)-set*ways, a)
+		lineID[li] = a.BlockID
+		active[a.BlockID] = li + 1
+		out[k] = li | o
+		fills++
+	}
+	c.accesses += hits + fills
+	c.hits += hits
+	c.fills += fills
+	c.evicts += evicts
+}
+
+// ReplayBatchCols is ReplayBatch over pre-decoded columns: blk and id
+// carry each access's block number and dense BlockID, and the record in
+// accs is touched only by the policy calls (many policies never
+// dereference it), so a lane walk streams a few bytes per access
+// instead of the full record. blk, id, accs and out run in lockstep.
+func (c *SetAssoc) ReplayBatchCols(blk []uint64, id []uint32, accs []AccessInfo, active, lineID, out []uint32) {
+	pol := c.policy
+	ways := c.ways
+	mask := c.mask
+	var hits, fills, evicts uint64
+	for k := range blk {
+		if li := active[id[k]]; li != 0 {
+			set := int(blk[k] & mask)
+			pol.Hit(set, int(li-1)-set*ways, &accs[k])
+			out[k] = (li - 1) | BatchHit
+			hits++
+			continue
+		}
+		set := int(blk[k] & mask)
+		a := &accs[k]
+		li, o := c.fillSlot(set, a)
+		if o != 0 {
+			active[lineID[li]] = 0
+			evicts++
+		}
+		c.lines[li] = makeLine(a.Block, a.Write)
+		pol.Fill(set, int(li)-set*ways, a)
+		lineID[li] = id[k]
+		active[id[k]] = li + 1
+		out[k] = li | o
+		fills++
+	}
+	c.accesses += hits + fills
+	c.hits += hits
+	c.fills += fills
+	c.evicts += evicts
+}
+
+// fillSlot picks the line index a fill of set should land in — the
+// first invalid way while the set is filling, the policy's victim once
+// it is full — returning BatchEvict in o when a valid line is
+// displaced. It is the batched twin of FillRef's slot choice and panics
+// on the same policy contract violations.
+func (c *SetAssoc) fillSlot(set int, a *AccessInfo) (li, o uint32) {
+	base := set * c.ways
+	if int(c.valid[set]) == c.ways {
+		way := c.policy.Victim(set, a)
+		if way < 0 || way >= c.ways {
+			panic(badVictim(c.policy, way, c.ways))
+		}
+		return uint32(base + way), BatchEvict
+	}
+	for w := 0; w < c.ways; w++ {
+		if !c.lines[base+w].valid() {
+			c.valid[set]++
+			return uint32(base + w), 0
+		}
+	}
+	panic("cache: set valid count below ways but no invalid way")
+}

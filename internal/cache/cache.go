@@ -262,7 +262,7 @@ func (c *SetAssoc) AccessRef(a *AccessInfo) Result {
 func (c *SetAssoc) victim(set, base int, res *Result, a *AccessInfo) int {
 	way := c.policy.Victim(set, a)
 	if way < 0 || way >= c.ways {
-		panic(fmt.Sprintf("cache: policy %s returned victim way %d outside [0,%d)", c.policy.Name(), way, c.ways))
+		panic(badVictim(c.policy, way, c.ways))
 	}
 	v := c.lines[base+way]
 	res.Evicted = true
@@ -270,6 +270,12 @@ func (c *SetAssoc) victim(set, base int, res *Result, a *AccessInfo) int {
 	res.VictimDirty = v.dirty()
 	c.evicts++
 	return way
+}
+
+// badVictim is the policy-contract panic message shared by the scalar
+// (victim) and batched (fillSlot) eviction paths.
+func badVictim(p Policy, way, ways int) string {
+	return fmt.Sprintf("cache: policy %s returned victim way %d outside [0,%d)", p.Name(), way, ways)
 }
 
 // FillRef is the miss half of AccessRef for callers that already know

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"sharellc/internal/report"
+	"sharellc/internal/sharing"
 	"sharellc/internal/sim"
 	"sharellc/internal/sim/streamcache"
 )
@@ -193,6 +194,12 @@ type Config struct {
 	Runner     Runner
 	Now        func() time.Time // test hook; nil means time.Now
 
+	// Kernel is the fused-replay kernel every job's suite runs with
+	// (sim.Config.Kernel): batch by default, scalar via the daemon's
+	// -kernel flag for production bisection. Ignored when a custom
+	// Runner is set.
+	Kernel sharing.Kernel
+
 	// StreamCache, when non-nil, supplies prepared workload streams to
 	// every job's suite construction, so jobs that share (machine, seed,
 	// scale, workloads) — even while differing in LLC size or policy —
@@ -236,7 +243,7 @@ func NewManager(cfg Config) *Manager {
 		cfg.CacheSize = 64
 	}
 	if cfg.Runner == nil {
-		cfg.Runner = defaultRunner(cfg.Workers, cfg.StreamCache)
+		cfg.Runner = defaultRunner(cfg.Workers, cfg.StreamCache, cfg.Kernel)
 	}
 	now := cfg.Now
 	if now == nil {

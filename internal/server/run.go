@@ -6,6 +6,7 @@ import (
 	"sharellc/internal/cache"
 	"sharellc/internal/core"
 	"sharellc/internal/report"
+	"sharellc/internal/sharing"
 	"sharellc/internal/sim"
 	"sharellc/internal/sim/streamcache"
 )
@@ -18,7 +19,7 @@ import (
 // it serves every suite's streams, so concurrent and sequential jobs
 // sharing (machine, seed, scale, workloads) build each stream at most
 // once per process regardless of their LLC size or policy.
-func defaultRunner(workers int, sc *streamcache.Cache) Runner {
+func defaultRunner(workers int, sc *streamcache.Cache, kernel sharing.Kernel) Runner {
 	shards := sim.ShardBudget(workers)
 	return func(ctx context.Context, req Request, progress func(done, total int, label string)) ([]*report.Table, error) {
 		exp, err := sim.ExperimentByID(req.Exp)
@@ -47,6 +48,7 @@ func defaultRunner(workers int, sc *streamcache.Cache) Runner {
 				Scale:   req.Scale,
 				Models:  models,
 				Shards:  shards,
+				Kernel:  kernel,
 				// Suite preparation reports through the same progress
 				// channel as the experiment fan-out; the "prepare" prefix
 				// distinguishes the phase in the SSE stream.

@@ -1,0 +1,202 @@
+package sharing
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/policy"
+	"sharellc/internal/rng"
+	"sharellc/internal/trace"
+)
+
+func TestParseKernel(t *testing.T) {
+	for s, want := range map[string]Kernel{"batch": KernelBatch, "scalar": KernelScalar} {
+		k, err := ParseKernel(s)
+		if err != nil || k != want {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v", s, k, err, want)
+		}
+		if k.String() != s {
+			t.Errorf("Kernel(%v).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	_, err := ParseKernel("vector")
+	if err == nil {
+		t.Fatal("ParseKernel accepted an unknown kernel")
+	}
+	for _, want := range []string{"vector", "batch", "scalar"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseKernel error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// batchTestConfigs builds one lane per experiment family: every
+// registered policy (covering the shardable and two-phase groups), a
+// hooked lane (pinned to the sequential walk) and a 128-way lane (past
+// the outcome log's 6-bit way field, the other sequential fallback).
+func batchTestConfigs(t *testing.T, size, ways int, hookCount *int) []LLCConfig {
+	t.Helper()
+	var configs []LLCConfig
+	for _, n := range policy.Names(1) {
+		f, err := policy.ByName(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		configs = append(configs, LLCConfig{Size: size, Ways: ways, NewPolicy: f})
+	}
+	lru := func() cache.Policy { return policy.NewLRUPolicy() }
+	configs = append(configs, LLCConfig{Size: size, Ways: ways, NewPolicy: lru,
+		Hooks: Hooks{OnAccess: func(cache.AccessInfo) { *hookCount++ }}})
+	configs = append(configs, LLCConfig{Size: size, Ways: 128, NewPolicy: lru})
+	return configs
+}
+
+// TestKernelBatchVsScalar replays every experiment family — the full
+// policy catalogue, a hooked lane and the 128-way sequential fallback —
+// under both kernels and demands byte-equal Results, including the
+// residency logs, degree histograms and oracle bit vectors.
+func TestKernelBatchVsScalar(t *testing.T) {
+	stream := synthStream(40000, 3000, 8, 7)
+	size, ways := 64*cache.KB, 8
+	opt := Options{KeepResidencies: true, Warmup: 500, FillShared: true, Shards: 4}
+
+	var hooksB, hooksS int
+	cfgB := batchTestConfigs(t, size, ways, &hooksB)
+	cfgS := batchTestConfigs(t, size, ways, &hooksS)
+
+	optB := opt
+	optB.Kernel = KernelBatch
+	batch, err := ReplayMulti(stream, cfgB, optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optS := opt
+	optS.Kernel = KernelScalar
+	scalar, err := ReplayMulti(stream, cfgS, optS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(scalar) {
+		t.Fatalf("got %d batch results, %d scalar", len(batch), len(scalar))
+	}
+	for i := range scalar {
+		if !reflect.DeepEqual(batch[i], scalar[i]) {
+			t.Errorf("config %d (%s @ %d ways): batch result differs from scalar\nbatch:  %+v\nscalar: %+v",
+				i, cfgB[i].NewPolicy().Name(), cfgB[i].Ways, batch[i], scalar[i])
+		}
+	}
+	if hooksB != len(stream) || hooksS != len(stream) {
+		t.Errorf("hooked lane saw %d/%d accesses under batch/scalar, want %d both", hooksB, hooksS, len(stream))
+	}
+}
+
+// kernelsAgree replays stream under both kernels (one shardable and one
+// two-phase lane) and reports a fatal difference. Shards is forced past
+// one so the lane engine — not the sequential fallback — runs.
+func kernelsAgree(t *testing.T, stream []cache.AccessInfo, size, ways int) {
+	t.Helper()
+	configs := []LLCConfig{
+		{Size: size, Ways: ways, NewPolicy: func() cache.Policy { return policy.NewLRUPolicy() }},
+		{Size: size, Ways: ways, NewPolicy: func() cache.Policy { return policy.NewDRRIP(rng.New(3)) }},
+	}
+	opt := Options{KeepResidencies: true, Warmup: 100, Shards: 4}
+	optB, optS := opt, opt
+	optB.Kernel = KernelBatch
+	optS.Kernel = KernelScalar
+	batch, err := ReplayMulti(stream, configs, optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := ReplayMulti(stream, configs, optS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scalar {
+		if !reflect.DeepEqual(batch[i], scalar[i]) {
+			t.Fatalf("len %d, config %d: batch result differs from scalar\nbatch:  %+v\nscalar: %+v",
+				len(stream), i, batch[i], scalar[i])
+		}
+	}
+}
+
+// TestKernelBoundaryLengths pins the chunk-loop edges: streams of
+// exactly batchSize−1, batchSize and batchSize+1 accesses (the chunk
+// boundary), empty and single-access streams, and a length that leaves
+// a short scalar-tail chunk.
+func TestKernelBoundaryLengths(t *testing.T) {
+	for _, n := range []int{0, 1, batchSize - 1, batchSize, batchSize + 1, 2*batchSize + 37} {
+		stream := synthStream(n, 300, 4, uint64(n)+3)
+		kernelsAgree(t, stream, 16*1024, 4)
+	}
+}
+
+// FuzzKernelBoundary fuzzes stream length, block population and warmup
+// interactions around the batch boundaries; every case must replay
+// bit-identically under both kernels.
+func FuzzKernelBoundary(f *testing.F) {
+	f.Add(uint16(0), uint64(1))
+	f.Add(uint16(1), uint64(2))
+	f.Add(uint16(batchSize-1), uint64(3))
+	f.Add(uint16(batchSize), uint64(4))
+	f.Add(uint16(batchSize+1), uint64(5))
+	f.Fuzz(func(t *testing.T, n uint16, seed uint64) {
+		stream := synthStream(int(n), 200, 4, seed)
+		kernelsAgree(t, stream, 16*1024, 4)
+	})
+}
+
+// TestReplayMultiAllocSteady asserts the fused replay's hot loops stay
+// allocation-free: once the scratch pool is warm, a whole ReplayMulti
+// sweep allocates only per-lane/per-shard bookkeeping (results, partial
+// counters, goroutines) — a count independent of stream length, orders
+// of magnitude below one allocation per access. Wired into CI via
+// `go test -run Alloc`.
+func TestReplayMultiAllocSteady(t *testing.T) {
+	stream := synthStream(60000, 3000, 8, 7)
+	configs := []LLCConfig{
+		{Size: 64 * cache.KB, Ways: 8, NewPolicy: func() cache.Policy { return policy.NewLRUPolicy() }},
+		{Size: 64 * cache.KB, Ways: 8, NewPolicy: func() cache.Policy { return policy.NewDRRIP(rng.New(3)) }},
+	}
+	opt := Options{Shards: 2}
+	run := func() {
+		if _, err := ReplayMulti(stream, configs, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch pool
+	allocs := testing.AllocsPerRun(3, run)
+	// ~60k accesses × 2 lanes: anything near one alloc per access means
+	// a hot loop started allocating. The per-sweep bookkeeping is a few
+	// hundred objects (degree histograms per shard partial, goroutine
+	// stacks, result structs).
+	if allocs > 2000 {
+		t.Errorf("ReplayMulti allocated %.0f objects per sweep; hot loop is allocating (budget 2000)", allocs)
+	}
+}
+
+// TestBatchKernelLargeWarmup exercises the warmup boundary landing
+// mid-stream so batch chunks are split at the boundary: counters must
+// match the scalar kernel exactly.
+func TestBatchKernelLargeWarmup(t *testing.T) {
+	stream := synthStream(3*batchSize, 500, 4, 11)
+	for _, warmup := range []int{1, batchSize, batchSize + 1, 3*batchSize - 1} {
+		configs := []LLCConfig{
+			{Size: 16 * trace.BlockSize * 4, Ways: 4, NewPolicy: func() cache.Policy { return policy.NewLRUPolicy() }},
+		}
+		optB := Options{Warmup: warmup, Shards: 4, Kernel: KernelBatch}
+		optS := Options{Warmup: warmup, Shards: 4, Kernel: KernelScalar}
+		batch, err := ReplayMulti(stream, configs, optB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar, err := ReplayMulti(stream, configs, optS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[0], scalar[0]) {
+			t.Errorf("warmup %d: batch result differs from scalar", warmup)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package sharing
+
+// Batched SoA replay kernel.
+//
+// The scalar kernel advances one access at a time through step (or
+// stepLogged), interleaving decode, probe, policy and tracker work in
+// one branchy body per access per lane. The batch kernel restructures
+// the same walk into phases over chunks of batchSize accesses:
+//
+//  1. decode — the gathered shard buffer is unpacked once, for every
+//     lane that will walk it, into flat struct-of-arrays columns: block
+//     numbers, dense BlockIDs and a one-byte core/store meta field;
+//  2. probe — cache.ReplayBatchCols (or ReplayBatch for the
+//     stream-order policy pass) runs the tag/victim/policy half as one
+//     tight loop, emitting a packed outcome word per access;
+//  3. count — hit/miss counters fold out of the outcome words in a
+//     branch-free reduction;
+//  4. advance — the residency tracker consumes the outcome words,
+//     touching only meta bytes and outcome words on the hit majority
+//     path and the full record only on fills.
+//
+// Each phase is a short dependence-free-per-iteration loop over L1-
+// resident chunk state (batchSize is sized so the chunk columns stay
+// under the L2 slice the shard walk already budgets via blockBudget),
+// which is the layout explicit SIMD can later target. Outputs are
+// bit-identical to the scalar kernel: the probe performs exactly the
+// scalar fast-path cache transitions in the same order, and the
+// advance phase performs exactly step's tracker transitions (the
+// differential tests in batch_test.go hold every experiment family to
+// byte equality). Hooked lanes, lanes wider than the outcome encodings
+// and the plain sequential Replay always run the scalar kernel — hooks
+// observe stream order access by access.
+
+import (
+	"fmt"
+	"sort"
+
+	"sharellc/internal/cache"
+)
+
+// Kernel selects the replay inner-loop implementation. The zero value
+// is the batched kernel, so existing callers get the fast path; scalar
+// is the escape hatch for bisecting regressions in production (the
+// -kernel flag on sharesim and sharesimd).
+type Kernel uint8
+
+const (
+	// KernelBatch phase-splits the fused replay into batched SoA loops.
+	KernelBatch Kernel = iota
+	// KernelScalar replays one access at a time (the PR 4 paths).
+	KernelScalar
+)
+
+// String returns the flag spelling of k.
+func (k Kernel) String() string {
+	switch k {
+	case KernelBatch:
+		return "batch"
+	case KernelScalar:
+		return "scalar"
+	}
+	return fmt.Sprintf("Kernel(%d)", uint8(k))
+}
+
+// ParseKernel resolves a -kernel flag value, rejecting unknown values
+// with an error enumerating the valid ones.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "batch":
+		return KernelBatch, nil
+	case "scalar":
+		return KernelScalar, nil
+	}
+	return 0, fmt.Errorf("sharing: unknown kernel %q (have batch, scalar)", s)
+}
+
+// batchSize is the accesses decoded per chunk. The chunk's own state —
+// outcome words, block/ID/meta column slices — costs ~17 bytes per
+// access, so 2 Ki keeps it near 32 KiB: resident in L1 across the
+// probe→count→advance phases while leaving the L2 slice the shard walk
+// budgets (blockBudget) to the lane's tracker, tag and policy state.
+const batchSize = 2 << 10
+
+// metaWrite flags a store in the decoded core/store meta byte; the low
+// seven bits carry the core (Residency.addCore bounds cores at 128).
+const metaWrite = 0x80
+
+// batchScratch is one worker's batch-kernel state, grabbed alongside
+// the gather buffer and reused across every shard the worker claims.
+// The columns span the worker's current shard; out spans one chunk.
+type batchScratch struct {
+	blk  []uint64
+	id   []uint32
+	meta []uint8
+	out  []uint32
+}
+
+// decodeColumns is the decode phase: one pass over the gathered shard
+// buffer unpacks the columns every lane's probe and advance loops
+// consume, so the 56-byte records are streamed once per shard instead
+// of once per lane per phase.
+func decodeColumns(accs []cache.AccessInfo, blk []uint64, id []uint32, meta []uint8) {
+	for k := range accs {
+		a := &accs[k]
+		blk[k] = a.Block
+		id[k] = a.BlockID
+		m := a.Core
+		if a.Write {
+			m |= metaWrite
+		}
+		meta[k] = m
+	}
+}
+
+// warmupSplit returns the first position of accs at or past the warmup
+// boundary, so chunk loops can hoist the per-access counting test of
+// the scalar kernel into a per-chunk constant. Stream order within a
+// shard means Index is ascending, which is what the binary search
+// needs.
+func warmupSplit(accs []cache.AccessInfo, warmup int) int {
+	if warmup <= 0 {
+		return 0
+	}
+	return sort.Search(len(accs), func(i int) bool { return accs[i].Index >= int64(warmup) })
+}
+
+// countBatch is the count phase: Result's access/hit/miss counters
+// fold out of a chunk's outcome words as a branch-free reduction.
+func countBatch(res *Result, out []uint32) {
+	var hits uint64
+	for _, o := range out {
+		hits += uint64(o>>30) & 1 // cache.BatchHit is bit 30
+	}
+	n := uint64(len(out))
+	res.Accesses += n
+	res.Hits += hits
+	res.Misses += n - hits
+}
+
+// advanceBatch is the advance phase: the residency tracker replays a
+// chunk's outcome words. The hit majority path touches only the
+// outcome word, the block column (a consistency check against the
+// tracked residency — the batch twin of the scalar kernel's
+// tracker-vs-cache cross-checks), the meta byte and the residency
+// line; fills read the full record. counting is constant per chunk
+// (the warmup boundary splits chunks), so the residency hit counter
+// advances branch-free.
+func (st *replayState) advanceBatch(blk []uint64, meta []uint8, out []uint32, accs []cache.AccessInfo, counting bool) error {
+	inc := uint64(0)
+	if counting {
+		inc = 1
+	}
+	lines := st.lines
+	for k, o := range out {
+		li := o & cache.BatchLine
+		r := &lines[li]
+		if o&cache.BatchHit != 0 {
+			if r.Block != blk[k] {
+				return fmt.Errorf("sharing: batch hit on line %d holding block %d, want block %d", li, r.Block, blk[k])
+			}
+			r.Hits += inc
+			m := meta[k]
+			r.coreMask[(m&^metaWrite)>>6] |= 1 << (m & 63)
+			if m&metaWrite != 0 {
+				r.written = true
+			}
+			continue
+		}
+		a := &accs[k]
+		if o&cache.BatchEvict != 0 {
+			if r.EvictIndex != -1 {
+				return fmt.Errorf("sharing: batch evicted line %d holds no open residency", li)
+			}
+			st.closeRes(r, a.Index)
+		}
+		*r = Residency{
+			Block:      blk[k],
+			FillIndex:  a.Index,
+			FillCore:   a.Core,
+			FillPC:     a.PC,
+			id:         a.BlockID,
+			written:    a.Write,
+			Predicted:  a.PredictedShared,
+			EvictIndex: -1,
+		}
+		r.addCore(a.Core)
+	}
+	return nil
+}
+
+// runLaneBatch walks one shardable lane over the gathered shard buffer
+// in chunks: probe → count → advance. The lane's active/lineID tables
+// persist across shards and workers exactly like the scalar path's
+// active table (disjoint index ranges per shard); the chunk loop also
+// cuts at the warmup boundary so counting stays per-chunk constant.
+func runLaneBatch(llc *cache.SetAssoc, l *lane, st *replayState, bs *batchScratch, accs []cache.AccessInfo, kWarm int, opt Options) error {
+	for lo := 0; lo < len(accs); {
+		hi := lo + batchSize
+		if hi > len(accs) {
+			hi = len(accs)
+		}
+		if lo < kWarm && kWarm < hi {
+			hi = kWarm
+		}
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return err
+			}
+		}
+		out := bs.out[:hi-lo]
+		llc.ReplayBatchCols(bs.blk[lo:hi], bs.id[lo:hi], accs[lo:hi], l.active, l.lineID, out)
+		counting := lo >= kWarm
+		if counting {
+			countBatch(st.res, out)
+		}
+		if err := st.advanceBatch(bs.blk[lo:hi], bs.meta[lo:hi], out, accs[lo:hi], counting); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// decodeLog rebuilds a chunk's outcome words from a two-phase lane's
+// one-byte outcome log: the line index comes from the block column and
+// the logged way, and the hit/evict flags shift from the log's bits
+// 6–7 to the outcome word's bits 30–31.
+func decodeLog(log []uint8, order []int32, blk []uint64, setMask uint64, ways int, out []uint32) {
+	for k := range out {
+		b := log[order[k]]
+		li := uint32(int(blk[k]&setMask)*ways) + uint32(b&logWayMask)
+		out[k] = li | uint32(b&(logHit|logEvict))<<24
+	}
+}
+
+// runPhaseLaneBatch is the tracker half of a two-phase lane over one
+// shard, batched: the decode phase reconstructs outcome words from the
+// policy pass's log, then count and advance run as in the shardable
+// walk. The block consistency check in advanceBatch replaces the
+// scalar stepLogged's log-vs-tracker cross-checks.
+func runPhaseLaneBatch(l *lane, st *replayState, bs *batchScratch, accs []cache.AccessInfo, order []int32, kWarm int, opt Options) error {
+	setMask := uint64(l.sets - 1)
+	ways := l.cfg.Ways
+	for lo := 0; lo < len(accs); {
+		hi := lo + batchSize
+		if hi > len(accs) {
+			hi = len(accs)
+		}
+		if lo < kWarm && kWarm < hi {
+			hi = kWarm
+		}
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return err
+			}
+		}
+		out := bs.out[:hi-lo]
+		decodeLog(l.log, order[lo:hi], bs.blk[lo:hi], setMask, ways, out)
+		counting := lo >= kWarm
+		if counting {
+			countBatch(st.res, out)
+		}
+		if err := st.advanceBatch(bs.blk[lo:hi], bs.meta[lo:hi], out, accs[lo:hi], counting); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// runPolicyPassBatch is the batched twin of runPolicyPass: the
+// stream-order cache+policy walk runs through cache.ReplayBatch chunk
+// by chunk, and a compress loop folds each chunk's outcome words into
+// the one-byte-per-access log the tracker phase replays. The policy
+// call sequence is exactly the scalar pass's, so cross-set policy
+// state (dueling counters, RNG draws, global tables) evolves
+// identically.
+func runPolicyPassBatch(stream []cache.AccessInfo, l *lane, opt Options) error {
+	llc, err := cache.NewSetAssoc(l.cfg.Size, l.cfg.Ways, l.inst)
+	if err != nil {
+		return err
+	}
+	ways := l.cfg.Ways
+	setMask := uint64(l.sets - 1)
+	log := l.log
+	active := l.active
+	lineID := grab(&scratch.cols, l.sets*ways, false)
+	out := grab(&scratch.cols, batchSize, false)
+	for lo := 0; lo < len(stream); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return err
+			}
+		}
+		o := out[:hi-lo]
+		llc.ReplayBatch(stream[lo:hi], active, lineID, o)
+		for k := range o {
+			set := uint32(stream[lo+k].Block&setMask) * uint32(ways)
+			log[lo+k] = uint8(o[k]&cache.BatchLine-set) | uint8(o[k]>>24&uint32(logHit|logEvict))
+		}
+	}
+	// The words pool's at-rest invariant is all-zero; active seeds the
+	// tracker phase from it. The cols pool carries no invariant, so
+	// lineID and out go back as they are.
+	clear(active)
+	put(&scratch.cols, lineID)
+	put(&scratch.cols, out)
+	return nil
+}

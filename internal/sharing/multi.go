@@ -140,6 +140,11 @@ type lane struct {
 	fillShared []bool
 	parts      []*Result // per-shard partial results
 
+	// lineID is the batch probe's line → BlockID reverse map (the
+	// inverse of active), allocated only for shardable lanes under the
+	// batch kernel. Like lines, index ranges are owned per shard.
+	lineID []uint32
+
 	// log records the cache outcome of every stream access for a
 	// two-phase lane (see runPolicyPass); nil otherwise.
 	log []uint8
@@ -300,11 +305,18 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 	blocked := func(l *lane) bool {
 		return l.shardable || (!l.cfg.Hooks.any() && l.cfg.Ways <= logMaxWays)
 	}
+	// The batch kernel's outcome word carries a 30-bit line index; a
+	// geometry too large for it (over a billion lines) pins the whole
+	// replay to the scalar kernel rather than mixing encodings.
+	useBatch := opt.Kernel == KernelBatch
 	var shardLanes, phaseLanes, seqLanes []*lane
 	minSets, hotBytes := 0, 0
 	for _, l := range lanes {
 		if !blocked(l) {
 			continue
+		}
+		if l.sets*l.cfg.Ways > int(cache.BatchLine)+1 {
+			useBatch = false
 		}
 		if minSets == 0 || l.sets < minSets {
 			minSets = l.sets
@@ -361,6 +373,11 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 				mem.Hugepages(l.fillShared)
 			}
 		}
+		if useBatch {
+			for _, l := range shardLanes {
+				l.lineID = grab(&scratch.cols, l.sets*l.cfg.Ways, false)
+			}
+		}
 		for _, l := range phaseLanes {
 			l.log = grab(&scratch.bytes, len(stream), false)
 		}
@@ -402,7 +419,11 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 					break
 				}
 				if tk := tasks[t]; tk.phase1 {
-					errs[w] = runPolicyPass(stream, tk.l, opt)
+					if useBatch {
+						errs[w] = runPolicyPassBatch(stream, tk.l, opt)
+					} else {
+						errs[w] = runPolicyPass(stream, tk.l, opt)
+					}
 					// Done even on error: a worker that claimed a
 					// phase1 task must release the barrier, or peers
 					// would wait forever on a task nobody will rerun.
@@ -422,10 +443,17 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 			phase1.Wait()
 			var runs []laneRun
 			var buf []cache.AccessInfo
+			var bs *batchScratch
 			for {
 				s := int(atomic.AddInt64(&shardNext, 1) - 1)
 				if s >= shards {
 					put(&scratch.accs, buf)
+					if bs != nil {
+						put(&scratch.blks, bs.blk)
+						put(&scratch.cols, bs.id)
+						put(&scratch.bytes, bs.meta)
+						put(&scratch.cols, bs.out)
+					}
 					return
 				}
 				if runs == nil {
@@ -445,8 +473,16 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 						}
 					}
 					buf = grab(&scratch.accs, max, false)
+					if useBatch {
+						bs = &batchScratch{
+							blk:  grab(&scratch.blks, max, false),
+							id:   grab(&scratch.cols, max, false),
+							meta: grab(&scratch.bytes, max, false),
+							out:  grab(&scratch.cols, batchSize, false),
+						}
+					}
 				}
-				if errs[w] = runShard(stream, shardLanes, phaseLanes, part, s, runs, buf, opt); errs[w] != nil {
+				if errs[w] = runShard(stream, shardLanes, phaseLanes, part, s, runs, buf, bs, opt); errs[w] != nil {
 					return
 				}
 			}
@@ -463,6 +499,9 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 		put(&scratch.lines, l.lines)
 		put(&scratch.words, l.active)
 		put(&scratch.bytes, l.blockState)
+		if l.lineID != nil {
+			put(&scratch.cols, l.lineID)
+		}
 		if l.log != nil {
 			put(&scratch.bytes, l.log)
 		}
@@ -584,7 +623,7 @@ func runSeqLane(stream []cache.AccessInfo, numBlocks int, l *lane, opt Options) 
 // from the shards it processed before. Two-phase lanes have no cache or
 // policy here at all: their walk is the tracker half only, re-enacting
 // the outcome log their policy pass recorded (see stepLogged).
-func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *PartitionIndex, s int, runs []laneRun, buf []cache.AccessInfo, opt Options) error {
+func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *PartitionIndex, s int, runs []laneRun, buf []cache.AccessInfo, bs *batchScratch, opt Options) error {
 	for j, l := range lanes {
 		res := newResult(l.inst.Name(), 0)
 		res.FillShared = l.fillShared
@@ -602,8 +641,22 @@ func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *Partit
 	for k, idx := range order {
 		accs[k] = stream[idx]
 	}
+	// Batch kernel: the decode phase runs once per shard (the columns
+	// serve every lane's walk) and the warmup boundary is located once,
+	// so the chunk loops carry neither test.
+	kWarm := 0
+	if bs != nil {
+		decodeColumns(accs, bs.blk, bs.id, bs.meta)
+		kWarm = warmupSplit(accs, opt.Warmup)
+	}
 	for j := range runs {
 		llc, ways, st := runs[j].llc, runs[j].ways, runs[j].st
+		if bs != nil {
+			if err := runLaneBatch(llc, lanes[j], st, bs, accs, kWarm, opt); err != nil {
+				return err
+			}
+			continue
+		}
 		for i := range accs {
 			if opt.Ctx != nil && i&(cancelStride-1) == 0 {
 				if err := opt.Ctx.Err(); err != nil {
@@ -632,6 +685,14 @@ func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *Partit
 		}
 		setMask := uint64(l.sets - 1)
 		ways := l.cfg.Ways
+		if bs != nil {
+			if err := runPhaseLaneBatch(l, st, bs, accs, order, kWarm, opt); err != nil {
+				return err
+			}
+			st.closeAlive(l.sets, ways, part.Shards, s)
+			l.parts[s] = res
+			continue
+		}
 		for i := range accs {
 			if opt.Ctx != nil && i&(cancelStride-1) == 0 {
 				if err := opt.Ctx.Err(); err != nil {

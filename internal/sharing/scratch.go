@@ -27,6 +27,12 @@ package sharing
 //   - outcome logs ([]uint8): phase one overwrites every byte before
 //     phase two reads it.
 //   - gather buffers ([]cache.AccessInfo): fully overwritten per shard.
+//   - batch columns (cols []uint32, blks []uint64): no at-rest
+//     invariant at all. The decode phase overwrites the consumed prefix
+//     per shard, outcome words are overwritten per chunk, and the
+//     probe's lineID reverse map is written for every way of a set
+//     before any eviction in that set can read it — so unlike the
+//     active tables of the words pool, these go back dirty.
 //
 // Only blockState needs an explicit clear on reuse (the census values
 // of the previous replay are meaningless for the next stream); that
@@ -60,6 +66,8 @@ var scratch struct {
 	mu    sync.Mutex
 	lines [][]Residency
 	words [][]uint32
+	cols  [][]uint32
+	blks  [][]uint64
 	bytes [][]uint8
 	accs  [][]cache.AccessInfo
 }

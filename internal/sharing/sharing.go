@@ -166,6 +166,15 @@ type Options struct {
 	// replay's Result.
 	FillShared bool
 
+	// Kernel selects the fused-replay inner loop: the batched SoA
+	// kernel (the zero value; see kernel.go) or the scalar per-access
+	// walk, kept as the bisection escape hatch. Results are
+	// bit-identical either way. It applies wherever the lane engine
+	// runs (ReplayMulti and the sharded path of ReplayParallel);
+	// sequential walks — plain Replay, hooked lanes, lanes wider than
+	// the outcome encodings — are scalar by construction and ignore it.
+	Kernel Kernel
+
 	// NumBlocks, when positive, asserts that the stream already carries
 	// dense BlockIDs in [0, NumBlocks) (cache.AssignBlockIDs), letting
 	// the replay skip the full-stream detection scan of

@@ -54,7 +54,7 @@ func (s *Suite) Characterize(llcSize, llcWays int) ([]CharRow, error) {
 		st := s.Streams[i]
 		res, err := sharing.ReplayParallel(st.Accesses, llcSize, llcWays,
 			func() cache.Policy { return policy.NewLRUPolicy() },
-			st.ReplayOptions(shards, s.context()))
+			s.replayOpts(st, shards))
 		if err != nil {
 			return fmt.Errorf("characterize %s: %w", st.Model.Name, err)
 		}
@@ -279,7 +279,7 @@ func (s *Suite) ComparePolicies(llcSize, llcWays int, names []string) ([]PolicyR
 			configs[p] = sharing.LLCConfig{Size: llcSize, Ways: llcWays, NewPolicy: f}
 		}
 		results, err := sharing.ReplayMulti(st.Accesses, configs,
-			st.ReplayOptions(shards, s.context()))
+			s.replayOpts(st, shards))
 		if err != nil {
 			return fmt.Errorf("comparing %s: %w", st.Model.Name, err)
 		}
@@ -353,7 +353,7 @@ func (s *Suite) OracleStudy(llcSize, llcWays int, names []string, opts core.Opti
 	err := s.par(len(s.Streams), func(w int) error {
 		st := s.Streams[w]
 		results, err := oracle.RunMultiPolicies(s.context(), st.Accesses, llcSize, llcWays,
-			factories, opts, oracle.HorizonFactor, st.ReplayOptions(shards, s.context()))
+			factories, opts, oracle.HorizonFactor, s.replayOpts(st, shards))
 		if err != nil {
 			return fmt.Errorf("oracle study %s: %w", st.Model.Name, err)
 		}
@@ -462,7 +462,7 @@ func (s *Suite) OracleHorizonSweep(llcSize, llcWays int, factors []int, opts cor
 	err := s.par(len(s.Streams), func(w int) error {
 		st := s.Streams[w]
 		results, err := oracle.RunMultiHorizons(s.context(), st.Accesses, llcSize, llcWays,
-			func() cache.Policy { return policy.NewLRUPolicy() }, opts, factors, st.ReplayOptions(shards, s.context()))
+			func() cache.Policy { return policy.NewLRUPolicy() }, opts, factors, s.replayOpts(st, shards))
 		if err != nil {
 			return fmt.Errorf("horizon sweep %s: %w", st.Model.Name, err)
 		}
@@ -625,7 +625,7 @@ func (s *Suite) PredictorDriven(llcSize, llcWays int, cfg predictor.Config, name
 				NewPolicy: protected(1 + p), Hooks: predictor.HooksFor(pred)}
 		}
 		results, err := sharing.ReplayMulti(st.Accesses, configs,
-			st.ReplayOptions(shards, s.context()))
+			s.replayOpts(st, shards))
 		if err != nil {
 			return fmt.Errorf("predictor driven %s: %w", st.Model.Name, err)
 		}

@@ -3,28 +3,33 @@
 # as JSON for cross-PR regression tracking.
 #
 # Pinned set: the F1/F2 characterization benchmarks (the replay engine's
-# hot path, full-size suite), F9 (the stream-side analyzers), and the PR 4
-# ComparePoliciesSuite sweep (the fused multi-policy replay), three
-# counted runs each, plus the PR 3 stream-cache pair (suite construction
-# cold vs. warm). The first iteration of each also pays the one-time
-# suite build (sync.Once); it is recorded separately as the "cold" sample
-# so the steady-state statistics are not skewed by it.
+# hot path, full-size suite), F9 (the stream-side analyzers), the PR 4
+# ComparePoliciesSuite sweep (the fused multi-policy replay) and the PR 6
+# BatchKernel probe-phase micro, three counted runs each, plus the PR 3
+# stream-cache pair (suite construction cold vs. warm). The first
+# iteration of each also pays the one-time suite build (sync.Once); it is
+# recorded separately as the "cold" sample so the steady-state statistics
+# are not skewed by it.
 #
 #   scripts/bench.sh [output.json] [baseline.json]
-#     default output:   BENCH_PR4.json
-#     default baseline: BENCH_PR1.json (skipped when absent)
+#     default output:   BENCH_PR6.json
+#     default baseline: BENCH_PR4.json (skipped when absent)
 #
 # SHARELLC_BENCH_SCALE (default 1 = full size) scales the suite used by
 # the cold/warm construction benchmarks.
 #
+# The JSON records, next to the static seed_baseline block, the
+# cumulative speedup of the steady-state F1 replay against that seed
+# number — the across-PR progress figure — and prints it on stderr.
 # After writing the output, the steady-state (minimum) ns/op of
-# BenchmarkF1SharedHitFraction4MB is compared against the baseline file;
-# a regression of more than 20% prints a prominent warning on stderr.
+# BenchmarkF1SharedHitFraction4MB is also compared against the baseline
+# file; a regression of more than 20% prints a prominent warning on
+# stderr.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
-BASELINE="${2:-BENCH_PR1.json}"
+OUT="${1:-BENCH_PR6.json}"
+BASELINE="${2:-BENCH_PR4.json}"
 BENCHES='^(BenchmarkF1SharedHitFraction4MB|BenchmarkF2SharedHitFraction8MB|BenchmarkF9SharingPhases|BenchmarkComparePoliciesSuite)$'
 SUITE_BENCHES='^(BenchmarkSuiteBuildCold|BenchmarkSuiteBuildWarm)$'
 export SHARELLC_BENCH_SCALE="${SHARELLC_BENCH_SCALE:-1}"
@@ -33,6 +38,12 @@ SUITE_RAW="$(mktemp)"
 trap 'rm -f "$RAW" "$SUITE_RAW"' EXIT
 
 go test -bench "$BENCHES" -benchmem -count=3 -run '^$' -timeout 60m . | tee "$RAW" >&2
+
+# The probe-phase micro (sweep-independent baseline for SIMD work on the
+# batch kernel) appends to the same raw log; the parser below is keyed by
+# benchmark name, so the samples land in the same JSON array.
+go test -bench '^BenchmarkBatchKernel$' -benchmem -count=3 -run '^$' -timeout 10m \
+  ./internal/cache | tee -a "$RAW" >&2
 
 # The suite-construction pair runs in an isolated user cache dir so the
 # warm measurement only ever sees snapshots its own cold pass wrote.
@@ -90,9 +101,20 @@ awk -v scale="$SHARELLC_BENCH_SCALE" '
     else
       printf "\"warm_speedup\": null},\n"
     printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\",\n", goos, goarch, cpu
+    seed_ns = 3600000000
     print "  \"seed_baseline\": {"
     print "    \"note\": \"steady-state BenchmarkF1SharedHitFraction4MB at the v0 seed commit (a6b47ae), same machine class\","
-    print "    \"ns_per_op\": 3600000000, \"bytes_per_op\": 688000000, \"allocs_per_op\": 5764000"
+    printf "    \"ns_per_op\": %.0f, \"bytes_per_op\": 688000000, \"allocs_per_op\": 5764000,\n", seed_ns
+    # Cumulative speedup of the F1 replay across every PR since the seed
+    # commit, from this run'\''s steady-state minimum.
+    f1 = steady["BenchmarkF1SharedHitFraction4MB"]
+    if (f1 > 0) {
+      printf "    \"cumulative_speedup\": %.2f\n", seed_ns / f1
+      printf "cumulative F1 speedup vs seed baseline: %.2fx (%.0f -> %.0f ns/op)\n", \
+        seed_ns / f1, seed_ns, f1 > "/dev/stderr"
+    } else {
+      print "    \"cumulative_speedup\": null"
+    }
     print "  }"
     print "}"
   }

@@ -39,6 +39,7 @@ import (
 	"sharellc/internal/oracle"
 	"sharellc/internal/policy"
 	"sharellc/internal/predictor"
+	"sharellc/internal/sharing"
 	"sharellc/internal/sim"
 	"sharellc/internal/workloads"
 )
@@ -91,6 +92,18 @@ type (
 
 	// OracleResult pairs the base and oracle passes of one study.
 	OracleResult = oracle.Result
+
+	// Kernel selects the replay inner-loop implementation
+	// (Config.Kernel, Suite.WithKernel).
+	Kernel = sharing.Kernel
+)
+
+// Replay kernels. The zero value is the batched kernel; scalar is the
+// escape hatch for bisecting replay regressions (the -kernel flag on
+// sharesim and sharesimd).
+const (
+	KernelBatch  = sharing.KernelBatch
+	KernelScalar = sharing.KernelScalar
 )
 
 // Protection strengths.
