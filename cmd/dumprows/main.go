@@ -1,27 +1,196 @@
 // Command dumprows prints experiment rows for a small fixed config so two
 // versions of the simulator can be diffed for bit-identical output.
+//
+// Two higher-level modes ride on the same fixed config:
+//
+//	dumprows -tables           print canonical table JSON via the experiment index
+//	dumprows -cluster 3        run the same request through an in-process
+//	                           coordinator with 3 workers and byte-compare
+//	                           against the direct run (exit 1 on any diff)
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
 
 	"sharellc/internal/cache"
+	"sharellc/internal/cluster"
 	"sharellc/internal/core"
 	"sharellc/internal/predictor"
+	"sharellc/internal/report"
 	"sharellc/internal/sharing"
 	"sharellc/internal/sim"
+	"sharellc/internal/sim/streamcache"
 	"sharellc/internal/workloads"
 )
 
+// tinyMachine is the fixed diff-harness config: small enough that the
+// full catalogue runs in seconds, large enough that every policy and
+// sharing path is exercised.
+var tinyMachine = cache.Config{
+	Cores:  8,
+	L1Size: 2 * cache.KB, L1Ways: 2,
+	L2Size: 8 * cache.KB, L2Ways: 4,
+	LLCSize: 64 * cache.KB, LLCWays: 8,
+}
+
 func main() {
 	kernel := flag.String("kernel", "batch", "replay kernel: batch or scalar")
+	tables := flag.Bool("tables", false, "print canonical table JSON instead of raw rows")
+	clusterN := flag.Int("cluster", 0, "run through an in-process coordinator with N workers and byte-compare against the direct run")
+	exps := flag.String("exps", "all", "comma-separated experiment ids for -tables/-cluster")
 	flag.Parse()
 	kern, err := sharing.ParseKernel(*kernel)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *clusterN > 0 {
+		if err := diffCluster(kern, strings.Split(*exps, ","), *clusterN); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *tables {
+		out, err := directTables(fixedRequest(strings.Split(*exps, ",")), kern)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(renderTables(out))
+		return
+	}
+	dumpRows(kern)
+}
+
+// fixedRequest is the harness request both execution paths run.
+func fixedRequest(exps []string) cluster.Request {
+	return cluster.Request{
+		Exps:      exps,
+		Machine:   &tinyMachine,
+		LLCMB:     float64(tinyMachine.LLCSize) / float64(cache.MB),
+		Ways:      tinyMachine.LLCWays,
+		Seed:      1,
+		Scale:     0.05,
+		Workloads: []string{"canneal", "streamcluster", "swaptions"},
+	}
+}
+
+// directTables runs the request through the plain experiment index, the
+// way a single daemon or the CLI would.
+func directTables(req cluster.Request, kern sharing.Kernel) ([]*report.Table, error) {
+	if err := req.Normalize(); err != nil {
+		return nil, err
+	}
+	opts := req.Options()
+	var suite *sim.Suite
+	var out []*report.Table
+	for _, id := range req.Exps {
+		exp, err := sim.ExperimentByID(id)
+		if err != nil {
+			return nil, err
+		}
+		var s *sim.Suite
+		if exp.NeedsSuite {
+			if suite == nil {
+				models, err := sim.ModelsByName(req.Workloads)
+				if err != nil {
+					return nil, err
+				}
+				suite, err = sim.NewSuite(sim.Config{
+					Machine: req.MachineConfig(),
+					Seed:    req.Seed,
+					Scale:   req.Scale,
+					Models:  models,
+					Kernel:  kern,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			s = suite
+		}
+		tabs, err := exp.Run(s, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tabs...)
+	}
+	return out, nil
+}
+
+// diffCluster runs the fixed request both ways — direct and through an
+// in-process coordinator with n polling workers over real HTTP — and
+// byte-compares the rendered tables.
+func diffCluster(kern sharing.Kernel, exps []string, n int) error {
+	req := fixedRequest(exps)
+	direct, err := directTables(req, kern)
+	if err != nil {
+		return fmt.Errorf("direct run: %w", err)
+	}
+
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Cache: streamcache.New(streamcache.Options{}),
+	})
+	cmux := http.NewServeMux()
+	coord.Register(cmux)
+	cs := httptest.NewServer(cmux)
+	defer cs.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < n; i++ {
+		wmux := http.NewServeMux()
+		ws := httptest.NewServer(wmux)
+		defer ws.Close()
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			CoordinatorURL: cs.URL,
+			SelfURL:        ws.URL,
+			Cache:          streamcache.New(streamcache.Options{}),
+			Kernel:         kern,
+			Poll:           20 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		w.Register(wmux)
+		go w.Run(ctx)
+	}
+
+	got, err := coord.Run(ctx, req, nil)
+	if err != nil {
+		return fmt.Errorf("cluster run: %w", err)
+	}
+	want, have := renderTables(direct), renderTables(got)
+	if !bytes.Equal(want, have) {
+		wl, hl := strings.Split(string(want), "\n"), strings.Split(string(have), "\n")
+		for i := 0; i < len(wl) || i < len(hl); i++ {
+			var a, b string
+			if i < len(wl) {
+				a = wl[i]
+			}
+			if i < len(hl) {
+				b = hl[i]
+			}
+			if a != b {
+				fmt.Fprintf(os.Stderr, "first diff at table %d:\n direct:  %s\n cluster: %s\n", i, a, b)
+				break
+			}
+		}
+		return fmt.Errorf("cluster(%d workers) output differs from direct run", n)
+	}
+	fmt.Printf("cluster(%d workers) output identical to direct run: %d tables, %d bytes\n", n, len(got), len(have))
+	return nil
+}
+
+// dumpRows is the original raw-row diff dump.
+func dumpRows(kern sharing.Kernel) {
 	models := make([]workloads.Model, 0, 3)
 	for _, name := range []string{"canneal", "streamcluster", "swaptions"} {
 		m, err := workloads.ByName(name)
@@ -31,16 +200,11 @@ func main() {
 		models = append(models, m)
 	}
 	cfg := sim.Config{
-		Machine: cache.Config{
-			Cores:  8,
-			L1Size: 2 * cache.KB, L1Ways: 2,
-			L2Size: 8 * cache.KB, L2Ways: 4,
-			LLCSize: 64 * cache.KB, LLCWays: 8,
-		},
-		Seed:   1,
-		Scale:  0.05,
-		Models: models,
-		Kernel: kern,
+		Machine: tinyMachine,
+		Seed:    1,
+		Scale:   0.05,
+		Models:  models,
+		Kernel:  kern,
 	}
 	s, err := sim.NewSuite(cfg)
 	if err != nil {
@@ -96,4 +260,15 @@ func main() {
 	for _, r := range ph {
 		fmt.Printf("phase %+v\n", r)
 	}
+}
+
+// renderTables marshals tables as newline-delimited canonical JSON.
+func renderTables(tables []*report.Table) []byte {
+	var b bytes.Buffer
+	for _, t := range tables {
+		if err := t.RenderJSON(&b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return b.Bytes()
 }

@@ -8,6 +8,17 @@
 //
 //	sharesimd -addr :8070 -workers 2 -cache 64 -queue 16 -drain 30s -cachedir auto
 //
+// Cluster roles (-mode):
+//
+//	sharesimd -mode coordinator -addr :8070 -advertise http://host:8070
+//	sharesimd -mode worker -addr :8071 -coordinator-url http://host:8070 -advertise http://host:8071
+//
+// A coordinator accepts the same job API as a single daemon but executes
+// every job as leased bundles on polling workers, merging partial rows
+// into byte-identical tables. Workers serve no job API; they poll the
+// coordinator, fetch content-addressed stream snapshots from peers, and
+// expose /healthz, /metrics and GET /v1/streams/{hash}.
+//
 // SIGINT/SIGTERM begin a graceful shutdown: the listener stops accepting
 // connections, queued jobs are cancelled, and running jobs get up to
 // -drain to finish before their contexts are cancelled.
@@ -24,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"sharellc/internal/cluster"
 	"sharellc/internal/server"
 	"sharellc/internal/sharing"
 	"sharellc/internal/sim/streamcache"
@@ -35,13 +47,20 @@ func main() {
 
 	var (
 		addr     = flag.String("addr", ":8070", "listen address")
-		workers  = flag.Int("workers", 2, "concurrent experiment runs")
+		workers  = flag.Int("workers", 2, "concurrent experiment runs (single mode) or bundle slots (worker mode)")
 		cacheN   = flag.Int("cache", 64, "completed results retained in the LRU cache")
 		queueN   = flag.Int("queue", 16, "queued jobs accepted before 503")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 		cachedir = flag.String("cachedir", "auto", "stream snapshot directory (auto = user cache dir, off = no snapshots; streams are still shared in-process)")
 		memMB    = flag.Int64("stream-mem", 0, "in-process stream cache budget in MB (0 = default, <0 = unlimited)")
+		diskMB   = flag.Int64("cache-max-bytes", 0, "on-disk snapshot store budget in MB (0 = unlimited); LRU snapshots are evicted past it")
 		kernel   = flag.String("kernel", "batch", "fused-replay kernel: batch or scalar")
+
+		mode     = flag.String("mode", "single", "daemon role: single, coordinator or worker")
+		coordURL = flag.String("coordinator-url", "", "coordinator base URL (worker mode, required)")
+		selfURL  = flag.String("advertise", "", "this node's reachable base URL, advertised to peers as a snapshot source")
+		poll     = flag.Duration("poll", 250*time.Millisecond, "idle wait between lease polls (worker mode)")
+		leaseTTL = flag.Duration("lease-ttl", 15*time.Second, "bundle lease TTL before re-queue (coordinator mode)")
 	)
 	flag.Parse()
 
@@ -49,27 +68,72 @@ func main() {
 	if err != nil {
 		log.Fatalf("unknown kernel %q (want batch or scalar)", *kernel)
 	}
+	switch *mode {
+	case "single", "coordinator", "worker":
+	default:
+		log.Fatalf("unknown mode %q (want single, coordinator or worker)", *mode)
+	}
+	if *mode == "worker" && *coordURL == "" {
+		log.Fatal("worker mode requires -coordinator-url")
+	}
 
 	// Jobs always share built streams in-process; -cachedir only decides
-	// whether they also persist across daemon restarts.
+	// whether they also persist across daemon restarts, and
+	// -cache-max-bytes bounds that store.
 	dir, _ := streamcache.DirFromFlag(*cachedir)
 	budget := *memMB
 	if budget > 0 {
 		budget *= 1 << 20
 	}
-	streams := streamcache.New(streamcache.Options{Dir: dir, MemBudget: budget})
+	diskBudget := *diskMB
+	if diskBudget > 0 {
+		diskBudget *= 1 << 20
+	}
+	streams := streamcache.New(streamcache.Options{Dir: dir, MemBudget: budget, DiskBudget: diskBudget})
 
-	srv := server.New(server.Config{
-		Workers:     *workers,
-		CacheSize:   *cacheN,
-		QueueDepth:  *queueN,
-		StreamCache: streams,
-		Kernel:      kern,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	var handler http.Handler
+	var manager *server.Manager
+	var workerDone chan error
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	switch *mode {
+	case "worker":
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			CoordinatorURL: *coordURL,
+			SelfURL:        *selfURL,
+			Cache:          streams,
+			Kernel:         kern,
+			Slots:          *workers,
+			Poll:           *poll,
+		})
+		if err != nil {
+			log.Fatalf("worker: %v", err)
+		}
+		handler = server.NewWorkerServer(w, streams, kern, *workers)
+		workerDone = make(chan error, 1)
+		go func() { workerDone <- w.Run(ctx) }()
+	default:
+		cfg := server.Config{
+			Workers:     *workers,
+			CacheSize:   *cacheN,
+			QueueDepth:  *queueN,
+			StreamCache: streams,
+			Kernel:      kern,
+		}
+		if *mode == "coordinator" {
+			cfg.Coordinator = cluster.NewCoordinator(cluster.CoordinatorConfig{
+				Cache:    streams,
+				SelfURL:  *selfURL,
+				LeaseTTL: *leaseTTL,
+			})
+		}
+		srv := server.New(cfg)
+		manager = srv.Manager()
+		handler = srv
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -77,7 +141,8 @@ func main() {
 	if snapdir == "" {
 		snapdir = "off"
 	}
-	log.Printf("listening on %s (%d workers, cache %d, queue %d, snapshots %s)", *addr, *workers, *cacheN, *queueN, snapdir)
+	log.Printf("listening on %s (%s mode, %d workers, cache %d, queue %d, snapshots %s)",
+		*addr, *mode, *workers, *cacheN, *queueN, snapdir)
 
 	select {
 	case err := <-errCh:
@@ -91,8 +156,15 @@ func main() {
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := srv.Manager().Shutdown(drainCtx); err != nil {
-		log.Printf("job drain: %v", err)
+	if manager != nil {
+		if err := manager.Shutdown(drainCtx); err != nil {
+			log.Printf("job drain: %v", err)
+		}
+	}
+	if workerDone != nil {
+		if err := <-workerDone; err != nil && !errors.Is(err, context.Canceled) {
+			log.Printf("worker: %v", err)
+		}
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve: %v", err)

@@ -1,0 +1,302 @@
+// Package cluster implements distributed sweep execution for sharesimd:
+// a coordinator decomposes a suite request into work bundles sharded by
+// (workload × LLC config table), leases them to polling workers over a
+// small versioned HTTP protocol, and deterministically merges the
+// returned rows back into the exact tables sim.Experiments produces —
+// byte-identical to a single-process run.
+//
+// The protocol is deliberately minimal (modeled on pull-based bundle
+// distribution: workers poll for work, report health via heartbeats, and
+// survive coordinator restarts because bundle IDs are deterministic):
+//
+//	POST /v1/cluster/lease                → 200 LeaseResponse | 204 no work
+//	POST /v1/cluster/bundles/{id}/heartbeat → 200 extends | 404 | 409 lease lost
+//	POST /v1/cluster/bundles/{id}/result  → 200 accepted
+//	GET  /v1/streams/{hash}               → snapshot image (any peer)
+//
+// Stream snapshots are the distribution artifact: bundles name the
+// streams they need by content hash (streamcache.Key), and a worker
+// fetches only hashes missing from its local store — from any listed
+// source or the coordinator — falling soft to a local build when every
+// transfer fails or validates badly.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/core"
+	"sharellc/internal/sim"
+	"sharellc/internal/sim/streamcache"
+	"sharellc/internal/workloads"
+)
+
+// ProtoVersion is the bundle-protocol version. Every request carries it;
+// a coordinator rejects mismatched workers with an enumerating error
+// rather than silently mis-scheduling.
+const ProtoVersion = 1
+
+// Request is a cluster sweep submission: one or more experiment ids over
+// one suite configuration. It mirrors the daemon's job request but is
+// defined here so the server package can depend on cluster and not the
+// reverse; it additionally allows several experiments per submission
+// (the full-catalogue sweep is the cluster's unit of work) and an
+// explicit machine config (diff harnesses run tiny non-default machines).
+type Request struct {
+	Exps []string `json:"exps"` // experiment ids; "all" expands to the whole catalogue
+	// Machine overrides the simulated machine; nil means cache.DefaultConfig().
+	Machine   *cache.Config `json:"machine,omitempty"`
+	LLCMB     float64       `json:"llc_mb,omitempty"`
+	Ways      int           `json:"ways,omitempty"`
+	Seed      uint64        `json:"seed,omitempty"`
+	Scale     float64       `json:"scale,omitempty"`
+	Workloads []string      `json:"workloads,omitempty"`
+	Policies  []string      `json:"policies,omitempty"`
+	Strength  string        `json:"strength,omitempty"`
+}
+
+// Normalize fills defaults, expands "all", and validates every field
+// against the experiment index. The normalized form is what Key hashes,
+// so submissions differing only in omitted-vs-explicit defaults coalesce.
+func (r *Request) Normalize() error {
+	if len(r.Exps) == 0 {
+		return errors.New("missing required field \"exps\"")
+	}
+	var exps []string
+	seen := map[string]bool{}
+	add := func(id string) error {
+		if _, err := sim.ExperimentByID(id); err != nil {
+			return err
+		}
+		if !seen[id] {
+			seen[id] = true
+			exps = append(exps, id)
+		}
+		return nil
+	}
+	for _, e := range r.Exps {
+		e = strings.ToLower(strings.TrimSpace(e))
+		if e == "all" {
+			for _, id := range sim.ExperimentIDs() {
+				if err := add(id); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := add(e); err != nil {
+			return err
+		}
+	}
+	r.Exps = exps
+	if r.LLCMB == 0 {
+		r.LLCMB = 4
+	}
+	if r.LLCMB <= 0 {
+		return fmt.Errorf("llc_mb must be positive, got %g", r.LLCMB)
+	}
+	if r.Ways == 0 {
+		r.Ways = 16
+	}
+	if r.Ways < 1 {
+		return fmt.Errorf("ways must be >= 1, got %d", r.Ways)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Scale == 0 {
+		r.Scale = 1
+	}
+	if r.Scale < 0 || r.Scale > 1 {
+		return fmt.Errorf("scale must be in (0, 1], got %g", r.Scale)
+	}
+	if r.Strength == "" {
+		r.Strength = "full"
+	}
+	if r.Strength != "full" && r.Strength != "insert-only" {
+		return fmt.Errorf("unknown strength %q (want full or insert-only)", r.Strength)
+	}
+	for i, w := range r.Workloads {
+		r.Workloads[i] = strings.ToLower(strings.TrimSpace(w))
+	}
+	sort.Strings(r.Workloads)
+	if _, err := sim.ModelsByName(r.Workloads); err != nil {
+		return err
+	}
+	for i, p := range r.Policies {
+		r.Policies[i] = strings.ToLower(strings.TrimSpace(p))
+	}
+	return nil
+}
+
+// Key is the canonical request hash: jobs, bundle IDs and result caching
+// all derive from it, which is what lets a restarted coordinator re-adopt
+// a resubmitted job's in-flight bundles.
+func (r Request) Key() string {
+	b, _ := json.Marshal(r)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// MachineConfig resolves the simulated machine.
+func (r Request) MachineConfig() cache.Config {
+	if r.Machine != nil {
+		return *r.Machine
+	}
+	return cache.DefaultConfig()
+}
+
+// Options maps the request knobs onto the experiment index's options,
+// exactly as the daemon's direct path does.
+func (r Request) Options() sim.ExpOptions {
+	o := sim.ExpOptions{
+		LLCSize:  int(r.LLCMB * float64(cache.MB)),
+		LLCWays:  r.Ways,
+		Policies: r.Policies,
+		Prot:     core.Options{Strength: core.Full},
+	}
+	if r.Strength == "insert-only" {
+		o.Prot.Strength = core.InsertOnly
+	}
+	return o
+}
+
+// WorkloadOrder is the canonical suite order the merge reconstructs:
+// the request's (normalized, sorted) workload list, or the full suite in
+// catalogue order when the list is empty — the same order
+// sim.NewSuiteContext prepares models in.
+func (r Request) WorkloadOrder() []string {
+	if len(r.Workloads) > 0 {
+		return r.Workloads
+	}
+	suite := workloads.Suite()
+	names := make([]string, len(suite))
+	for i, m := range suite {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// ScaledModel resolves one workload name to the scaled model the suite
+// would prepare, replicating sim.NewSuiteContext's scaling exactly so
+// stream hashes computed here match the ones the worker's suite requests.
+func (r Request) ScaledModel(name string) (workloads.Model, error) {
+	m, err := workloads.ByName(name)
+	if err != nil {
+		return workloads.Model{}, err
+	}
+	if r.Scale != 1 {
+		m = m.Scaled(r.Scale)
+	}
+	return m, nil
+}
+
+// StreamRefFor names the content-addressed stream a workload of this
+// request resolves to at the given seed.
+func (r Request) StreamRefFor(name string, seed uint64) (StreamRef, error) {
+	m, err := r.ScaledModel(name)
+	if err != nil {
+		return StreamRef{}, err
+	}
+	return StreamRef{
+		Workload: name,
+		Seed:     seed,
+		Hash:     streamcache.Key(m, r.MachineConfig(), seed),
+	}, nil
+}
+
+// StreamRef names one prepared stream a bundle needs, by content hash.
+type StreamRef struct {
+	Workload string `json:"workload"`
+	Seed     uint64 `json:"seed"`
+	Hash     string `json:"hash"`
+	// Sources lists base URLs (peers first, coordinator implicit) known
+	// to hold the snapshot at lease time; a worker tries them in order
+	// before building locally.
+	Sources []string `json:"sources,omitempty"`
+}
+
+// WholeExperiment is the Bundle.Spec value of a bundle that runs an
+// entire experiment rather than one table-spec slice (the experiments
+// sim.PlanFor declines: they build their own streams or are static).
+const WholeExperiment = -1
+
+// Bundle is one leased unit of work: a single (experiment, table spec,
+// workload) slice, or a whole experiment when Spec == WholeExperiment.
+type Bundle struct {
+	ID  string `json:"id"`
+	Job string `json:"job"` // Request.Key() of the owning job
+	Exp string `json:"exp"`
+	// Spec indexes sim.PlanFor(Exp, Request.Options()); the worker
+	// recomputes the same plan from the carried request, so the two sides
+	// agree on parametrization by construction.
+	Spec     int         `json:"spec"`
+	Workload string      `json:"workload,omitempty"` // empty for whole-experiment bundles
+	Request  Request     `json:"request"`
+	Streams  []StreamRef `json:"streams,omitempty"`
+}
+
+// BundleID derives the deterministic bundle identifier. Determinism is
+// load-bearing: a worker that leased a bundle from a coordinator that
+// has since restarted can still deliver its result, because the
+// resubmitted job regenerates bundles under identical IDs.
+func BundleID(jobKey, exp string, spec int, workload string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%s\x00%d\x00%s", jobKey, exp, spec, workload)))
+	return "b-" + hex.EncodeToString(sum[:10])
+}
+
+// LeaseRequest is the body of POST /v1/cluster/lease.
+type LeaseRequest struct {
+	Proto int `json:"proto"`
+	// Worker identifies the poller; when it is a reachable base URL the
+	// coordinator also advertises it as a snapshot source to peers.
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants one bundle for TTLMillis; the worker must
+// heartbeat well within it (TTL/3 is the convention) or the bundle is
+// re-queued for another worker.
+type LeaseResponse struct {
+	Bundle    Bundle `json:"bundle"`
+	TTLMillis int64  `json:"ttl_ms"`
+}
+
+// HeartbeatRequest is the body of the heartbeat POST.
+type HeartbeatRequest struct {
+	Proto  int    `json:"proto"`
+	Worker string `json:"worker"`
+}
+
+// HeartbeatResponse echoes the remaining lease grant.
+type HeartbeatResponse struct {
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// BundleResult is the body of the result POST. Exactly one of Rows
+// (spec bundles, sim.EncodeRows gob bytes) or Tables (whole-experiment
+// bundles, canonical table JSON) is set on success.
+type BundleResult struct {
+	Proto  int    `json:"proto"`
+	Worker string `json:"worker"`
+	Err    string `json:"error,omitempty"`
+	Rows   []byte `json:"rows,omitempty"`
+	Tables []json.RawMessage `json:"tables,omitempty"`
+	// Built lists stream hashes resident on this worker after the run
+	// (fetched or built), so the coordinator can advertise it as a source.
+	Built []string `json:"built,omitempty"`
+}
+
+// CheckProto validates a peer's protocol version with an enumerating
+// error, matching the repo's flag-parse conventions.
+func CheckProto(v int) error {
+	if v != ProtoVersion {
+		return fmt.Errorf("unsupported protocol version %d (this node speaks: %d)", v, ProtoVersion)
+	}
+	return nil
+}

@@ -149,6 +149,18 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 	return json.Marshal(j)
 }
 
+// UnmarshalJSON decodes the canonical shape written by MarshalJSON, so a
+// table can cross a process boundary (the cluster's whole-experiment
+// bundles) and re-marshal byte-identically.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var j tableJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	t.Title, t.Note, t.Headers, t.Rows = j.Title, j.Note, j.Headers, j.Rows
+	return nil
+}
+
 // RenderJSON writes the table as one compact JSON object followed by a
 // newline, so multi-table runs emit newline-delimited JSON (one object
 // per table).

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"sharellc/internal/cluster"
 	"sharellc/internal/report"
 	"sharellc/internal/sharing"
 	"sharellc/internal/sim"
@@ -207,6 +208,17 @@ type Config struct {
 	// exported on /metrics as the sharesimd_stream_* series. Ignored when
 	// a custom Runner is set.
 	StreamCache *streamcache.Cache
+
+	// Role names how this daemon executes jobs ("single" by default,
+	// "coordinator" when Coordinator is set); /healthz reports it.
+	Role string
+
+	// Coordinator, when non-nil, replaces the in-process runner with the
+	// cluster scheduler: each job is decomposed into bundles and executed
+	// by polling workers, with results merged byte-identically to the
+	// direct path. Its protocol endpoints are mounted on the server mux
+	// and its counters join /metrics. Ignored when a custom Runner is set.
+	Coordinator *cluster.Coordinator
 }
 
 // Manager owns the worker pool, the coalescing map and the result cache.
@@ -243,7 +255,18 @@ func NewManager(cfg Config) *Manager {
 		cfg.CacheSize = 64
 	}
 	if cfg.Runner == nil {
-		cfg.Runner = defaultRunner(cfg.Workers, cfg.StreamCache, cfg.Kernel)
+		if cfg.Coordinator != nil {
+			cfg.Runner = distributedRunner(cfg.Coordinator)
+		} else {
+			cfg.Runner = defaultRunner(cfg.Workers, cfg.StreamCache, cfg.Kernel)
+		}
+	}
+	if cfg.Role == "" {
+		if cfg.Coordinator != nil {
+			cfg.Role = "coordinator"
+		} else {
+			cfg.Role = "single"
+		}
 	}
 	now := cfg.Now
 	if now == nil {
@@ -263,6 +286,9 @@ func NewManager(cfg Config) *Manager {
 	}
 	if cfg.StreamCache != nil {
 		m.met.streams = cfg.StreamCache.Stats
+	}
+	if cfg.Coordinator != nil {
+		m.met.cluster = cfg.Coordinator.Stats
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"sharellc/internal/cluster"
 	"sharellc/internal/sim/streamcache"
 )
 
@@ -32,6 +33,10 @@ type metrics struct {
 	// scrape time (the cache keeps its own consistent snapshot; nothing
 	// is double-counted here).
 	streams func() streamcache.Stats
+
+	// cluster, when non-nil (coordinator role), reads the bundle
+	// scheduler's counters at scrape time.
+	cluster func() cluster.CoordinatorStats
 }
 
 // durationBuckets are the histogram upper bounds in seconds, spanning
@@ -142,30 +147,73 @@ func (m *metrics) write(w io.Writer) {
 		fmt.Fprintf(&b, "sharesimd_job_duration_seconds_count{exp=%q} %d\n", e, h.total)
 	}
 
+	if m.cluster != nil {
+		writeClusterSeries(&b, m.cluster())
+	}
 	if m.streams != nil {
-		st := m.streams()
-		for _, c := range []struct {
-			name, help string
-			v          uint64
-		}{
-			{"sharesimd_stream_builds_total", "Full workload-stream builds (both cache levels missed).", st.Builds},
-			{"sharesimd_stream_hits_total", "Stream requests served from the in-process cache.", st.Hits},
-			{"sharesimd_stream_misses_total", "Stream requests that missed the in-process cache.", st.Misses},
-			{"sharesimd_stream_coalesced_total", "Stream requests coalesced onto an in-flight build.", st.Coalesced},
-			{"sharesimd_stream_disk_hits_total", "Streams loaded from snapshot files.", st.DiskHits},
-			{"sharesimd_stream_disk_misses_total", "Snapshot probes that found no usable file.", st.DiskMiss},
-			{"sharesimd_stream_evictions_total", "Streams evicted from the in-process cache.", st.Evictions},
-			{"sharesimd_stream_disk_read_bytes_total", "Snapshot bytes read from disk.", st.BytesRead},
-			{"sharesimd_stream_disk_written_bytes_total", "Snapshot bytes written to disk.", st.BytesWritten},
-		} {
-			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
-		}
-		b.WriteString("# HELP sharesimd_stream_mem_bytes Stream bytes resident in the in-process cache.\n")
-		b.WriteString("# TYPE sharesimd_stream_mem_bytes gauge\n")
-		fmt.Fprintf(&b, "sharesimd_stream_mem_bytes %d\n", st.BytesInMem)
-		b.WriteString("# HELP sharesimd_stream_entries Streams resident in the in-process cache.\n")
-		b.WriteString("# TYPE sharesimd_stream_entries gauge\n")
-		fmt.Fprintf(&b, "sharesimd_stream_entries %d\n", st.Entries)
+		writeStreamSeries(&b, m.streams())
 	}
 	io.WriteString(w, b.String())
+}
+
+// writeStreamSeries renders the stream-cache counter and gauge family;
+// shared between the single/coordinator daemon registry and the
+// worker-mode registry, which track different work but the same store.
+func writeStreamSeries(b *strings.Builder, st streamcache.Stats) {
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"sharesimd_stream_builds_total", "Full workload-stream builds (both cache levels missed).", st.Builds},
+		{"sharesimd_stream_hits_total", "Stream requests served from the in-process cache.", st.Hits},
+		{"sharesimd_stream_misses_total", "Stream requests that missed the in-process cache.", st.Misses},
+		{"sharesimd_stream_coalesced_total", "Stream requests coalesced onto an in-flight build.", st.Coalesced},
+		{"sharesimd_stream_disk_hits_total", "Streams loaded from snapshot files.", st.DiskHits},
+		{"sharesimd_stream_disk_misses_total", "Snapshot probes that found no usable file.", st.DiskMiss},
+		{"sharesimd_stream_evictions_total", "Streams evicted from the in-process cache.", st.Evictions},
+		{"sharesimd_stream_disk_evictions_total", "Snapshot files evicted by the disk budget.", st.DiskEvictions},
+		{"sharesimd_stream_puts_total", "Snapshots installed from peers (cluster transfers).", st.Puts},
+		{"sharesimd_stream_disk_read_bytes_total", "Snapshot bytes read from disk.", st.BytesRead},
+		{"sharesimd_stream_disk_written_bytes_total", "Snapshot bytes written to disk.", st.BytesWritten},
+	} {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+	}
+	for _, g := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"sharesimd_stream_mem_bytes", "Stream bytes resident in the in-process cache.", st.BytesInMem},
+		{"sharesimd_stream_entries", "Streams resident in the in-process cache.", uint64(st.Entries)},
+		{"sharesimd_stream_disk_bytes", "Snapshot bytes resident in the on-disk store.", st.DiskBytes},
+		{"sharesimd_stream_disk_files", "Snapshot files resident in the on-disk store.", uint64(st.DiskFiles)},
+	} {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
+	}
+}
+
+// writeClusterSeries renders the coordinator's bundle-scheduler family.
+func writeClusterSeries(b *strings.Builder, st cluster.CoordinatorStats) {
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"sharesimd_cluster_jobs_total", "Cluster jobs ever admitted.", uint64(st.Jobs)},
+		{"sharesimd_bundles_done_total", "Bundles resolved successfully.", st.BundlesDone},
+		{"sharesimd_bundles_requeued_total", "Lease expiries re-queued for another worker.", st.BundlesRequeued},
+		{"sharesimd_bundles_failed_total", "Bundle results rejected or failed.", st.BundlesFailed},
+		{"sharesimd_stream_serve_total", "Snapshot downloads served to workers.", st.StreamServes},
+		{"sharesimd_stream_serve_bytes_total", "Snapshot bytes served to workers.", st.StreamBytes},
+	} {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+	}
+	for _, g := range []struct {
+		name, help string
+		v          int
+	}{
+		{"sharesimd_cluster_jobs_inflight", "Cluster jobs not yet terminal.", st.JobsInflight},
+		{"sharesimd_bundles_pending", "Bundles queued and not yet leased.", st.BundlesPending},
+		{"sharesimd_bundles_inflight", "Bundles leased to a worker right now.", st.BundlesInflight},
+	} {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
+	}
 }

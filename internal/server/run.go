@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"sharellc/internal/cache"
+	"sharellc/internal/cluster"
 	"sharellc/internal/core"
 	"sharellc/internal/report"
 	"sharellc/internal/sharing"
@@ -66,5 +67,25 @@ func defaultRunner(workers int, sc *streamcache.Cache, kernel sharing.Kernel) Ru
 			suite = suite.WithProgress(progress)
 		}
 		return exp.Run(suite, opts)
+	}
+}
+
+// distributedRunner routes jobs through the cluster coordinator instead
+// of the in-process pool: the request maps 1:1 onto a cluster.Request
+// (same normalization, so identical jobs coalesce in both layers) and the
+// merged tables come back byte-identical to what defaultRunner produces.
+func distributedRunner(c *cluster.Coordinator) Runner {
+	return func(ctx context.Context, req Request, progress func(done, total int, label string)) ([]*report.Table, error) {
+		creq := cluster.Request{
+			Exps:      []string{req.Exp},
+			LLCMB:     req.LLCMB,
+			Ways:      req.Ways,
+			Seed:      req.Seed,
+			Scale:     req.Scale,
+			Workloads: req.Workloads,
+			Policies:  req.Policies,
+			Strength:  req.Strength,
+		}
+		return c.Run(ctx, creq, progress)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"time"
 
+	"sharellc/internal/cluster"
 	"sharellc/internal/report"
 	"sharellc/internal/sim"
 )
@@ -33,6 +34,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	switch {
+	case cfg.Coordinator != nil:
+		// Worker-facing bundle protocol plus GET /v1/streams/{hash}.
+		cfg.Coordinator.Register(s.mux)
+	case cfg.StreamCache != nil:
+		// Even a single-mode daemon serves its snapshots, so a cluster
+		// spun up later (or a peer worker) can seed from it.
+		s.mux.HandleFunc("GET /v1/streams/{hash}", cluster.StreamHandler(cfg.StreamCache, nil))
+	}
 	return s
 }
 
@@ -200,15 +210,66 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// healthView is the /healthz body, shared by all three daemon roles.
+// Status and the HTTP code carry liveness (503 + "draining" during
+// shutdown, preserving the original contract); the rest is a cluster
+// operator's at-a-glance state.
+type healthView struct {
+	Status        string         `json:"status"` // ok | draining
+	Role          string         `json:"role"`   // single | coordinator | worker
+	Kernel        string         `json:"kernel"`
+	ShardBudget   int            `json:"shard_budget"`
+	Workers       occupancyView  `json:"workers"`
+	SnapshotStore *snapshotStore `json:"snapshot_store,omitempty"`
+	Bundles       *bundleGauges  `json:"bundles,omitempty"`
+}
+
+type occupancyView struct {
+	Busy  int `json:"busy"`
+	Total int `json:"total"`
+}
+
+type snapshotStore struct {
+	MemBytes  uint64 `json:"mem_bytes"`
+	DiskBytes uint64 `json:"disk_bytes"`
+	DiskFiles int    `json:"disk_files"`
+}
+
+type bundleGauges struct {
+	Pending  int `json:"pending"`
+	Inflight int `json:"inflight"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.m.mu.Lock()
-	draining := s.m.draining
-	s.m.mu.Unlock()
+	m := s.m
+	m.mu.Lock()
+	draining := m.draining
+	m.mu.Unlock()
+	m.met.mu.Lock()
+	busy := m.met.inflight
+	m.met.mu.Unlock()
+
+	hv := healthView{
+		Status:      "ok",
+		Role:        m.cfg.Role,
+		Kernel:      m.cfg.Kernel.String(),
+		ShardBudget: sim.ShardBudget(m.cfg.Workers),
+		Workers:     occupancyView{Busy: busy, Total: m.cfg.Workers},
+	}
+	if m.cfg.StreamCache != nil {
+		st := m.cfg.StreamCache.Stats()
+		hv.SnapshotStore = &snapshotStore{MemBytes: st.BytesInMem, DiskBytes: st.DiskBytes, DiskFiles: st.DiskFiles}
+	}
+	if m.cfg.Coordinator != nil {
+		cs := m.cfg.Coordinator.Stats()
+		hv.Bundles = &bundleGauges{Pending: cs.BundlesPending, Inflight: cs.BundlesInflight}
+	}
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		hv.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, hv)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, hv)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/report"
+)
+
+func planTestConfig(t *testing.T, names []string) Config {
+	t.Helper()
+	models, err := ModelsByName(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Machine: cache.Config{
+			Cores:  8,
+			L1Size: 2 * cache.KB, L1Ways: 2,
+			L2Size: 8 * cache.KB, L2Ways: 4,
+			LLCSize: 64 * cache.KB, LLCWays: 8,
+		},
+		Seed:   1,
+		Scale:  0.02,
+		Models: models,
+	}
+}
+
+func planTestOptions() ExpOptions {
+	o := DefaultExpOptions()
+	o.LLCSize = 64 * cache.KB
+	o.LLCWays = 8
+	o.Policies = []string{"lru", "srrip"}
+	return o
+}
+
+func tableJSON(t *testing.T, tables []*report.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		b, err := tb.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestPlanMatchesCatalogue checks that every sliceable experiment,
+// executed one workload at a time with the rows shipped through the
+// cluster wire codec (gob encode/decode) and merged in suite order,
+// renders tables byte-identical to a whole-suite Experiment.Run. This is
+// the determinism-of-merge property the coordinator relies on.
+func TestPlanMatchesCatalogue(t *testing.T) {
+	names := []string{"canneal", "streamcluster", "swaptions"}
+	cfg := planTestConfig(t, names)
+	opts := planTestOptions()
+
+	whole, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One single-workload suite per name, sharing machine/seed/scale.
+	subs := make([]*Suite, len(names))
+	for i, n := range names {
+		sc := cfg
+		models, err := ModelsByName([]string{n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Models = models
+		s, err := NewSuite(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+
+	for _, id := range ExperimentIDs() {
+		specs, ok := PlanFor(id, opts)
+		if !ok {
+			continue
+		}
+		exp, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := exp.Run(whole, opts)
+		if err != nil {
+			t.Fatalf("%s: whole-suite run: %v", id, err)
+		}
+		if len(want) != len(specs) {
+			t.Fatalf("%s: %d tables from Run but %d specs from PlanFor", id, len(want), len(specs))
+		}
+		var got []*report.Table
+		for _, sp := range specs {
+			var merged any
+			for _, sub := range subs {
+				rows, err := sp.Run(sub)
+				if err != nil {
+					t.Fatalf("%s: spec %q on sub-suite: %v", id, sp.Title, err)
+				}
+				wire, err := EncodeRows(rows)
+				if err != nil {
+					t.Fatalf("%s: encode: %v", id, err)
+				}
+				decoded, err := DecodeRows(sp.Kind, wire)
+				if err != nil {
+					t.Fatalf("%s: decode: %v", id, err)
+				}
+				merged, err = MergeRows(sp.Kind, merged, decoded)
+				if err != nil {
+					t.Fatalf("%s: merge: %v", id, err)
+				}
+			}
+			got = append(got, sp.Render(merged))
+		}
+		if !bytes.Equal(tableJSON(t, want), tableJSON(t, got)) {
+			t.Errorf("%s: merged per-workload tables differ from whole-suite run\nwant:\n%s\ngot:\n%s",
+				id, tableJSON(t, want), tableJSON(t, got))
+		}
+	}
+}
+
+// TestPlanTitlesMatchRun pins every spec title to the rendered table
+// title so progress labels and merge bookkeeping agree with the output.
+func TestPlanTitlesMatchRun(t *testing.T) {
+	opts := planTestOptions()
+	for _, id := range ExperimentIDs() {
+		specs, ok := PlanFor(id, opts)
+		if !ok {
+			continue
+		}
+		for _, sp := range specs {
+			tb := sp.Render(nil)
+			if tb.Title != sp.Title {
+				t.Errorf("%s: spec title %q but rendered table title %q", id, sp.Title, tb.Title)
+			}
+		}
+	}
+}
+
+// TestPlanForUnknown pins the non-sliceable set: these run as whole
+// experiments on the cluster (or inline on the coordinator).
+func TestPlanForUnknown(t *testing.T) {
+	opts := planTestOptions()
+	for _, id := range []string{"config", "suite", "m1", "a5", "nope"} {
+		if _, ok := PlanFor(id, opts); ok {
+			t.Errorf("PlanFor(%q) unexpectedly sliceable", id)
+		}
+	}
+}
+
+// TestRowCodecNonFinite checks the wire codec round-trips NaN and ±Inf
+// bit-exactly; JSON could not represent these, gob must.
+func TestRowCodecNonFinite(t *testing.T) {
+	in := []PolicyRow{{Workload: "x", Policy: "lru", MissRate: math.NaN(), MissesVsLRU: math.Inf(1), SharedHitFrac: math.Inf(-1)}}
+	wire, err := EncodeRows(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRows("policy", wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.([]PolicyRow)
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	if !math.IsNaN(rows[0].MissRate) || !math.IsInf(rows[0].MissesVsLRU, 1) || !math.IsInf(rows[0].SharedHitFrac, -1) {
+		t.Errorf("non-finite floats not preserved: %+v", rows[0])
+	}
+}
+
+// TestDecodeRowsUnknownKind pins the enumerating error contract.
+func TestDecodeRowsUnknownKind(t *testing.T) {
+	if _, err := DecodeRows("bogus", nil); err == nil {
+		t.Error("DecodeRows with unknown kind: want error, got nil")
+	}
+	if _, err := MergeRows("bogus", nil, nil); err == nil {
+		t.Error("MergeRows with unknown kind: want error, got nil")
+	}
+}
+
+// TestBareSuite checks the config-only suite used for whole-experiment
+// bundles: m1 and a5 must run on it (they build their own streams).
+func TestBareSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds sub-suites; skipped in -short")
+	}
+	cfg := planTestConfig(t, []string{"canneal", "streamcluster", "swaptions"})
+	opts := planTestOptions()
+
+	whole, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := BareSuite(context.Background(), cfg)
+	for _, id := range []string{"m1", "a5"} {
+		exp, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := exp.Run(whole, opts)
+		if err != nil {
+			t.Fatalf("%s on full suite: %v", id, err)
+		}
+		got, err := exp.Run(bare, opts)
+		if err != nil {
+			t.Fatalf("%s on bare suite: %v", id, err)
+		}
+		if !bytes.Equal(tableJSON(t, want), tableJSON(t, got)) {
+			t.Errorf("%s: bare-suite run differs from full-suite run", id)
+		}
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"sharellc/internal/cache"
 	"sharellc/internal/core"
 	"sharellc/internal/policy"
-	"sharellc/internal/predictor"
 	"sharellc/internal/report"
 	"sharellc/internal/stats"
 	"sharellc/internal/workloads"
@@ -53,21 +52,21 @@ func Experiments() []Experiment {
 	return []Experiment{
 		{ID: "config", Title: "T1: the simulated machine configuration", Run: runConfig},
 		{ID: "suite", Title: "T2: the workload suite and its sharing parameters", Run: runSuiteTable},
-		{ID: "f1", Title: "shared vs. private LLC hit volume (default-size LLC)", NeedsSuite: true, Run: runF1},
-		{ID: "f2", Title: "shared vs. private LLC hit volume (doubled LLC)", NeedsSuite: true, Run: runF2},
-		{ID: "f3", Title: "sharing-degree distribution", NeedsSuite: true, Run: runF3},
-		{ID: "f4", Title: "policy comparison vs. LRU and Belady OPT", NeedsSuite: true, Run: runF4},
-		{ID: "f5", Title: "oracle study at both LLC sizes (per-workload rows = F6)", NeedsSuite: true, Run: runF5},
-		{ID: "f7", Title: "fill-time predictor accuracy", NeedsSuite: true, Run: runF7},
-		{ID: "f8", Title: "predictor-driven replacement vs. the oracle ceiling", NeedsSuite: true, Run: runF8},
-		{ID: "f9", Title: "sharing-phase stability (why the predictors fail)", NeedsSuite: true, Run: runF9},
-		{ID: "c1", Title: "coherence-protocol traffic characterization (extension)", NeedsSuite: true, Run: runC1},
-		{ID: "c2", Title: "reuse-distance distributions by sharing class (extension)", NeedsSuite: true, Run: runC2},
+		{ID: "f1", Title: "shared vs. private LLC hit volume (default-size LLC)", NeedsSuite: true, Run: planRun("f1")},
+		{ID: "f2", Title: "shared vs. private LLC hit volume (doubled LLC)", NeedsSuite: true, Run: planRun("f2")},
+		{ID: "f3", Title: "sharing-degree distribution", NeedsSuite: true, Run: planRun("f3")},
+		{ID: "f4", Title: "policy comparison vs. LRU and Belady OPT", NeedsSuite: true, Run: planRun("f4")},
+		{ID: "f5", Title: "oracle study at both LLC sizes (per-workload rows = F6)", NeedsSuite: true, Run: planRun("f5")},
+		{ID: "f7", Title: "fill-time predictor accuracy", NeedsSuite: true, Run: planRun("f7")},
+		{ID: "f8", Title: "predictor-driven replacement vs. the oracle ceiling", NeedsSuite: true, Run: planRun("f8")},
+		{ID: "f9", Title: "sharing-phase stability (why the predictors fail)", NeedsSuite: true, Run: planRun("f9")},
+		{ID: "c1", Title: "coherence-protocol traffic characterization (extension)", NeedsSuite: true, Run: planRun("c1")},
+		{ID: "c2", Title: "reuse-distance distributions by sharing class (extension)", NeedsSuite: true, Run: planRun("c2")},
 		{ID: "m1", Title: "oracle on multiprogrammed mixes (motivating contrast)", NeedsSuite: true, Run: runM1},
-		{ID: "a1", Title: "ablation: protection strength (insert-only vs. full)", NeedsSuite: true, Run: runA1},
-		{ID: "a2", Title: "ablation: predictor table-size sweep", NeedsSuite: true, Run: runA2},
-		{ID: "a3", Title: "ablation: LLC associativity sweep", NeedsSuite: true, Run: runA3},
-		{ID: "a4", Title: "ablation: oracle sharing-horizon sweep", NeedsSuite: true, Run: runA4},
+		{ID: "a1", Title: "ablation: protection strength (insert-only vs. full)", NeedsSuite: true, Run: planRun("a1")},
+		{ID: "a2", Title: "ablation: predictor table-size sweep", NeedsSuite: true, Run: planRun("a2")},
+		{ID: "a3", Title: "ablation: LLC associativity sweep", NeedsSuite: true, Run: planRun("a3")},
+		{ID: "a4", Title: "ablation: oracle sharing-horizon sweep", NeedsSuite: true, Run: planRun("a4")},
 		{ID: "a5", Title: "ablation: seed robustness of the oracle gain", NeedsSuite: true, Run: runA5},
 	}
 }
@@ -155,90 +154,6 @@ func runSuiteTable(_ *Suite, _ ExpOptions) ([]*report.Table, error) {
 	return []*report.Table{t}, nil
 }
 
-func runF1(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	rows, err := s.Characterize(o.LLCSize, o.LLCWays)
-	if err != nil {
-		return nil, err
-	}
-	return one(CharTable(fmt.Sprintf("F1: shared vs private LLC hits (%s LLC, LRU)", mbLabel(o.LLCSize)), rows), nil)
-}
-
-func runF2(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	rows, err := s.Characterize(2*o.LLCSize, o.LLCWays)
-	if err != nil {
-		return nil, err
-	}
-	return one(CharTable(fmt.Sprintf("F2: shared vs private LLC hits (%s LLC, LRU)", mbLabel(2*o.LLCSize)), rows), nil)
-}
-
-func runF3(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	rows, err := s.Characterize(o.LLCSize, o.LLCWays)
-	if err != nil {
-		return nil, err
-	}
-	return one(DegreeTable(fmt.Sprintf("F3: sharing-degree distribution (%s LLC, LRU)", mbLabel(o.LLCSize)), rows), nil)
-}
-
-func runF4(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	rows, err := s.ComparePolicies(o.LLCSize, o.LLCWays, nil)
-	if err != nil {
-		return nil, err
-	}
-	return one(PolicyTable(fmt.Sprintf("F4: policy comparison (%s LLC)", mbLabel(o.LLCSize)), rows), nil)
-}
-
-func runF5(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	var out []*report.Table
-	for _, size := range []int{o.LLCSize, 2 * o.LLCSize} {
-		rows, err := s.OracleStudy(size, o.LLCWays, o.Policies, o.Prot)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, OracleTable(fmt.Sprintf("F5/F6: oracle study (%s LLC, %s)", mbLabel(size), o.Prot.Strength), rows))
-	}
-	return out, nil
-}
-
-func runF7(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	rows, err := s.PredictorAccuracy(o.LLCSize, o.LLCWays, predictor.DefaultConfig(), nil)
-	if err != nil {
-		return nil, err
-	}
-	return one(PredictorTable(fmt.Sprintf("F7: fill-time sharing predictor accuracy (%s LLC, LRU)", mbLabel(o.LLCSize)), rows), nil)
-}
-
-func runF8(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	rows, err := s.PredictorDriven(o.LLCSize, o.LLCWays, predictor.DefaultConfig(), nil, o.Prot)
-	if err != nil {
-		return nil, err
-	}
-	return one(DrivenTable(fmt.Sprintf("F8: predictor-driven replacement (%s LLC, LRU base)", mbLabel(o.LLCSize)), rows), nil)
-}
-
-func runF9(s *Suite, _ ExpOptions) ([]*report.Table, error) {
-	rows, err := s.SharingPhases(0)
-	if err != nil {
-		return nil, err
-	}
-	return one(PhaseTable("F9: sharing-phase stability (16 windows)", rows), nil)
-}
-
-func runC1(s *Suite, _ ExpOptions) ([]*report.Table, error) {
-	rows, err := s.CoherenceCharacterize()
-	if err != nil {
-		return nil, err
-	}
-	return one(CoherenceTable("C1: coherence-protocol traffic (MESI directory)", rows), nil)
-}
-
-func runC2(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	rows, err := s.ReuseDistances(o.LLCSize)
-	if err != nil {
-		return nil, err
-	}
-	return one(ReuseTable("C2: reuse-distance distribution by sharing class", rows), nil)
-}
-
 func runM1(s *Suite, o ExpOptions) ([]*report.Table, error) {
 	// Three canonical 8-program multiprogrammed mixes drawn from the
 	// suite, scaled and seeded like the suite itself.
@@ -267,53 +182,17 @@ func runM1(s *Suite, o ExpOptions) ([]*report.Table, error) {
 	return one(OracleTable(fmt.Sprintf("M1: oracle on multiprogrammed mixes (%s LLC)", mbLabel(o.LLCSize)), rows), nil)
 }
 
-func runA1(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	var out []*report.Table
-	for _, st := range []core.Strength{core.InsertOnly, core.Full} {
-		opts := o.Prot
-		opts.Strength = st
-		rows, err := s.OracleStudy(o.LLCSize, o.LLCWays, []string{"lru", "srrip"}, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, OracleTable(fmt.Sprintf("A1: oracle with %s protection (%s LLC)", st, mbLabel(o.LLCSize)), rows))
-	}
-	return out, nil
+// A5Workloads is the fixed workload subset the a5 seed-robustness
+// ablation regenerates under each seed. Exported so the cluster
+// coordinator can pre-distribute the matching request-seed streams: the
+// seed-1 sub-suite shares cache keys with the primary suite's streams,
+// and a worker running a5 should peer-fetch those rather than rebuild.
+func A5Workloads() []string {
+	return []string{"canneal", "dedup", "barnes", "ocean", "streamcluster", "swaptions"}
 }
 
-func runA2(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	var out []*report.Table
-	for _, bits := range []int{8, 11, 14, 17} {
-		cfg := predictor.DefaultConfig()
-		cfg.TableBits = bits
-		rows, err := s.PredictorAccuracy(o.LLCSize, o.LLCWays, cfg, []string{"addr", "pc"})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, PredictorTable(fmt.Sprintf("A2: predictor accuracy with 2^%d-entry tables (%s LLC)", bits, mbLabel(o.LLCSize)), rows))
-	}
-	return out, nil
-}
-
-func runA3(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	var out []*report.Table
-	for _, w := range []int{8, 16, 32} {
-		rows, err := s.OracleStudy(o.LLCSize, w, []string{"lru"}, o.Prot)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, OracleTable(fmt.Sprintf("A3: oracle gain at %d-way associativity (%s LLC)", w, mbLabel(o.LLCSize)), rows))
-	}
-	return out, nil
-}
-
-func runA4(s *Suite, o ExpOptions) ([]*report.Table, error) {
-	rows, err := s.OracleHorizonSweep(o.LLCSize, o.LLCWays, nil, o.Prot)
-	if err != nil {
-		return nil, err
-	}
-	return one(HorizonTable(fmt.Sprintf("A4: oracle gain vs sharing horizon (%s LLC, LRU)", mbLabel(o.LLCSize)), rows), nil)
-}
+// A5Seeds lists the seeds the a5 ablation sweeps.
+func A5Seeds() []uint64 { return []uint64{1, 2, 3} }
 
 func runA5(s *Suite, o ExpOptions) ([]*report.Table, error) {
 	// Seed robustness: rebuild a suite subset under several seeds and
@@ -321,11 +200,11 @@ func runA5(s *Suite, o ExpOptions) ([]*report.Table, error) {
 	// are not reused.
 	t := report.NewTable(fmt.Sprintf("A5: oracle gain across seeds (%s LLC, LRU)", mbLabel(o.LLCSize)),
 		"seed", "mean-reduction", "workloads")
-	sub, err := ModelsByName([]string{"canneal", "dedup", "barnes", "ocean", "streamcluster", "swaptions"})
+	sub, err := ModelsByName(A5Workloads())
 	if err != nil {
 		return nil, err
 	}
-	for _, seed := range []uint64{1, 2, 3} {
+	for _, seed := range A5Seeds() {
 		cfg := s.Config
 		cfg.Seed = seed
 		cfg.Models = sub

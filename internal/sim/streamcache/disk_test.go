@@ -1,0 +1,190 @@
+package streamcache
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sharellc/internal/cache"
+)
+
+// buildOne fills the cache with one stream and returns its key.
+func buildOne(t *testing.T, c *Cache, name string, seed uint64) string {
+	t.Helper()
+	m := testModel(t, name, 0.01)
+	machine := cache.DefaultConfig()
+	if _, err := c.Stream(context.Background(), m, machine, seed); err != nil {
+		t.Fatal(err)
+	}
+	return Key(m, machine, seed)
+}
+
+func TestDiskBudgetEvicts(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Options{Dir: dir})
+	k1 := buildOne(t, c, "canneal", 1)
+	size1 := c.Stats().DiskBytes
+	if size1 == 0 {
+		t.Fatal("no snapshot written")
+	}
+
+	// A fresh cache whose budget fits exactly one snapshot of this size:
+	// writing a second evicts the least recently used first one.
+	c2 := New(Options{Dir: t.TempDir(), DiskBudget: int64(size1) + int64(size1)/2})
+	k1 = buildOne(t, c2, "canneal", 1)
+	k2 := buildOne(t, c2, "canneal", 2)
+	st := c2.Stats()
+	if st.DiskEvictions == 0 {
+		t.Fatalf("no disk evictions under budget %d with %d bytes written", int64(size1)+int64(size1)/2, st.BytesWritten)
+	}
+	if st.DiskFiles != 1 {
+		t.Errorf("DiskFiles = %d, want 1", st.DiskFiles)
+	}
+	if _, err := os.Stat(filepath.Join(c2.Dir(), k1+snapshotExt)); !os.IsNotExist(err) {
+		t.Errorf("evicted snapshot %s still on disk (err=%v)", k1, err)
+	}
+	if _, err := os.Stat(filepath.Join(c2.Dir(), k2+snapshotExt)); err != nil {
+		t.Errorf("newest snapshot %s missing: %v", k2, err)
+	}
+}
+
+func TestDiskBudgetNeverEvictsNewest(t *testing.T) {
+	// A budget smaller than any single snapshot must still keep the one
+	// just written (mirrors the memory level's newest-entry guarantee).
+	c := New(Options{Dir: t.TempDir(), DiskBudget: 1})
+	k := buildOne(t, c, "canneal", 1)
+	if _, err := os.Stat(filepath.Join(c.Dir(), k+snapshotExt)); err != nil {
+		t.Errorf("newest snapshot evicted by undersized budget: %v", err)
+	}
+	if got := c.Stats().DiskFiles; got != 1 {
+		t.Errorf("DiskFiles = %d, want 1", got)
+	}
+}
+
+func TestScanDiskAdoptsExistingSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Options{Dir: dir})
+	k := buildOne(t, c, "canneal", 1)
+
+	// A second cache over the same directory adopts the file sight unseen.
+	c2 := New(Options{Dir: dir})
+	if !c2.Contains(k) {
+		t.Error("fresh cache does not see pre-existing snapshot")
+	}
+	st := c2.Stats()
+	if st.DiskFiles != 1 || st.DiskBytes == 0 {
+		t.Errorf("adopted stats DiskFiles=%d DiskBytes=%d", st.DiskFiles, st.DiskBytes)
+	}
+}
+
+func TestContains(t *testing.T) {
+	c := New(Options{}) // memory only
+	if c.Contains("no-such-key") {
+		t.Error("Contains true for unknown key")
+	}
+	k := buildOne(t, c, "canneal", 1)
+	if !c.Contains(k) {
+		t.Error("Contains false after build")
+	}
+}
+
+func TestSnapshotBytesAndPut(t *testing.T) {
+	src := New(Options{Dir: t.TempDir()})
+	m := testModel(t, "canneal", 0.01)
+	machine := cache.DefaultConfig()
+	want, err := src.Stream(context.Background(), m, machine, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key(m, machine, 1)
+	img, ok := src.SnapshotBytes(k)
+	if !ok {
+		t.Fatal("SnapshotBytes failed on warm cache")
+	}
+
+	// Peer install: decoded stream equal, no build performed.
+	dst := New(Options{Dir: t.TempDir(), BuildHook: func(string) { t.Error("unexpected build on peer") }})
+	got, err := dst.PutSnapshot(k, img, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Accesses) != len(want.Accesses) || got.NumBlocks != want.NumBlocks || got.TraceLen != want.TraceLen {
+		t.Errorf("transferred stream differs: %d/%d/%d vs %d/%d/%d",
+			len(got.Accesses), got.NumBlocks, got.TraceLen, len(want.Accesses), want.NumBlocks, want.TraceLen)
+	}
+	if !dst.Contains(k) {
+		t.Error("Contains false after PutSnapshot")
+	}
+	if st := dst.Stats(); st.Puts != 1 || st.DiskFiles != 1 {
+		t.Errorf("stats after put: Puts=%d DiskFiles=%d", st.Puts, st.DiskFiles)
+	}
+	// And the installed snapshot serves a later Stream call without building.
+	if _, err := dst.Stream(context.Background(), m, machine, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b := dst.Stats().Builds; b != 0 {
+		t.Errorf("Stream after PutSnapshot built anyway (Builds=%d)", b)
+	}
+}
+
+func TestSnapshotBytesFromMemoryOnly(t *testing.T) {
+	src := New(Options{}) // no disk level
+	m := testModel(t, "canneal", 0.01)
+	machine := cache.DefaultConfig()
+	if _, err := src.Stream(context.Background(), m, machine, 1); err != nil {
+		t.Fatal(err)
+	}
+	k := Key(m, machine, 1)
+	img, ok := src.SnapshotBytes(k)
+	if !ok {
+		t.Fatal("SnapshotBytes failed with memory-only cache")
+	}
+	if err := validateSnapshot(img, k); err != nil {
+		t.Fatalf("encoded image fails validation: %v", err)
+	}
+}
+
+func TestPutSnapshotRejectsCorrupt(t *testing.T) {
+	src := New(Options{})
+	m := testModel(t, "canneal", 0.01)
+	machine := cache.DefaultConfig()
+	if _, err := src.Stream(context.Background(), m, machine, 1); err != nil {
+		t.Fatal(err)
+	}
+	k := Key(m, machine, 1)
+	img, ok := src.SnapshotBytes(k)
+	if !ok {
+		t.Fatal("SnapshotBytes failed")
+	}
+
+	dst := New(Options{Dir: t.TempDir()})
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"bit-flip": func(b []byte) []byte {
+			b2 := append([]byte(nil), b...)
+			b2[len(b2)/2] ^= 0x40
+			return b2
+		},
+		"empty": func([]byte) []byte { return nil },
+	} {
+		if _, err := dst.PutSnapshot(k, mutate(append([]byte(nil), img...)), m); err == nil {
+			t.Errorf("%s image accepted", name)
+		}
+	}
+	if dst.Contains(k) {
+		t.Error("corrupt put left the key resident")
+	}
+	if st := dst.Stats(); st.DiskFiles != 0 {
+		t.Errorf("corrupt put wrote a file (DiskFiles=%d)", st.DiskFiles)
+	}
+}
+
+func TestOptionsBuildHook(t *testing.T) {
+	var keys []string
+	c := New(Options{BuildHook: func(k string) { keys = append(keys, k) }})
+	k := buildOne(t, c, "canneal", 1)
+	if len(keys) != 1 || keys[0] != k {
+		t.Errorf("build hook calls = %v, want [%s]", keys, k)
+	}
+}

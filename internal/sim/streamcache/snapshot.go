@@ -41,13 +41,13 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // failures are deliberately not propagated further.
 var errSnapshot = errors.New("streamcache: invalid snapshot")
 
-// writeSnapshot encodes s and atomically installs it at path (write to a
-// temp file in the same directory, then rename), returning the file
-// size. Failures leave no partial file behind.
-func writeSnapshot(path, key string, s *sim.Stream) (int, error) {
+// encodeSnapshot renders the full snapshot image (magic through CRC
+// trailer) for s under key, the exact bytes a snapshot file holds — and
+// therefore also the peer-transfer wire format.
+func encodeSnapshot(key string, s *sim.Stream) ([]byte, error) {
 	keyBytes, err := decodeKey(key)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	// Records dominate; 8 bytes each is a comfortable overestimate for
 	// the header and typical record sizes.
@@ -59,26 +59,64 @@ func writeSnapshot(path, key string, s *sim.Stream) (int, error) {
 	}
 	buf, err = cache.AppendAccessInfos(buf, s.Accesses)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable)), nil
+}
 
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".sllc-*")
+// writeSnapshot encodes s and atomically installs it at path (write to a
+// temp file in the same directory, then rename), returning the file
+// size. Failures leave no partial file behind.
+func writeSnapshot(path, key string, s *sim.Stream) (int, error) {
+	buf, err := encodeSnapshot(key, s)
 	if err != nil {
 		return 0, err
+	}
+	if err := writeSnapshotBytes(path, buf); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// writeSnapshotBytes atomically installs an already-encoded snapshot
+// image at path (temp file in the same directory, then rename).
+func writeSnapshotBytes(path string, buf []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".sllc-*")
+	if err != nil {
+		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op once renamed
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
-		return 0, err
+		return err
 	}
 	if err := tmp.Close(); err != nil {
-		return 0, err
+		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return 0, err
+	return os.Rename(tmp.Name(), path)
+}
+
+// validateSnapshot checks the cheap integrity envelope of a snapshot
+// image — length, magic/version, embedded key, CRC trailer — without
+// decoding the records. Serving paths use it so a corrupt file is never
+// propagated to a peer; the receiver still runs the full decode.
+func validateSnapshot(data []byte, key string) error {
+	const minLen = 8 + 32 + 5 + 4
+	if len(data) < minLen {
+		return errSnapshot
 	}
-	return len(buf), nil
+	if [8]byte(data[:8]) != snapshotMagic {
+		return errSnapshot
+	}
+	keyBytes, err := decodeKey(key)
+	if err != nil || string(data[8:40]) != string(keyBytes) {
+		return errSnapshot
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return errSnapshot
+	}
+	return nil
 }
 
 // loadSnapshot bulk-reads path and reconstructs the stream for m. ok is

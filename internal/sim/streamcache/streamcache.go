@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"unsafe"
 
@@ -62,6 +64,17 @@ type Options struct {
 	// per insertion: the most recently inserted stream is never evicted,
 	// so a single stream larger than the budget still caches.
 	MemBudget int64
+	// DiskBudget caps the total bytes of snapshot files in Dir;
+	// least-recently-used snapshots are deleted past it (the newest file
+	// is never evicted, mirroring MemBudget). 0 or negative means
+	// unlimited — the historical behaviour. Existing snapshots found in
+	// Dir at construction join the LRU ordered by modification time.
+	DiskBudget int64
+	// BuildHook, when non-nil, runs at the start of every full stream
+	// build (after both cache levels and any peer transfer missed).
+	// Cluster tests use it to assert each stream is built at most once
+	// cluster-wide, and to stall builds; it runs outside the cache lock.
+	BuildHook func(key string)
 }
 
 // Stats is a snapshot of the cache's counters.
@@ -74,8 +87,13 @@ type Stats struct {
 	Builds    uint64 // full BuildStream runs
 	Evictions uint64 // process-level LRU evictions
 
+	Puts          uint64 // snapshots installed via PutSnapshot (peer transfer)
+	DiskEvictions uint64 // snapshot files deleted by the disk byte budget
+
 	BytesInMem   uint64 // resident stream bytes (gauge)
 	Entries      int    // resident streams (gauge)
+	DiskBytes    uint64 // snapshot-store bytes under the budget's accounting (gauge)
+	DiskFiles    int    // snapshot files tracked (gauge)
 	BytesRead    uint64 // snapshot bytes read from disk
 	BytesWritten uint64 // snapshot bytes written to disk
 }
@@ -111,8 +129,9 @@ func DirFromFlag(v string) (dir string, ok bool) {
 // Cache is the two-level stream cache. The zero value is not usable;
 // call New.
 type Cache struct {
-	dir    string
-	budget int64
+	dir        string
+	budget     int64
+	diskBudget int64
 
 	mu       sync.Mutex
 	ll       *list.List               // front = most recently used
@@ -120,6 +139,13 @@ type Cache struct {
 	inflight map[string]*flight
 	bytes    int64
 	stats    Stats
+
+	// Disk-level LRU bookkeeping (only when dir != ""): one entry per
+	// snapshot file, front = most recently used. Tracked regardless of
+	// budget so DiskBytes/DiskFiles gauges stay meaningful.
+	dll       *list.List               // value: *diskEntry
+	ditems    map[string]*list.Element // key -> element of dll
+	diskBytes int64
 
 	// buildHook, when non-nil, runs at the start of every full build
 	// (after both cache levels missed). Tests use it to count and to
@@ -130,6 +156,11 @@ type Cache struct {
 type entry struct {
 	key   string
 	s     *sim.Stream
+	bytes int64
+}
+
+type diskEntry struct {
+	key   string
 	bytes int64
 }
 
@@ -147,11 +178,15 @@ type flight struct {
 // correctness dependency).
 func New(opts Options) *Cache {
 	c := &Cache{
-		dir:      opts.Dir,
-		budget:   opts.MemBudget,
-		ll:       list.New(),
-		items:    map[string]*list.Element{},
-		inflight: map[string]*flight{},
+		dir:        opts.Dir,
+		budget:     opts.MemBudget,
+		diskBudget: opts.DiskBudget,
+		ll:         list.New(),
+		items:      map[string]*list.Element{},
+		inflight:   map[string]*flight{},
+		dll:        list.New(),
+		ditems:     map[string]*list.Element{},
+		buildHook:  opts.BuildHook,
 	}
 	if c.budget == 0 {
 		c.budget = DefaultMemBudget
@@ -161,7 +196,83 @@ func New(opts Options) *Cache {
 			c.dir = ""
 		}
 	}
+	c.scanDisk()
 	return c
+}
+
+// scanDisk seeds the disk LRU from snapshot files already present in the
+// directory, oldest first so pre-existing files evict before anything
+// written by this process. Non-snapshot files are ignored.
+func (c *Cache) scanDisk() {
+	if c.dir == "" {
+		return
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type old struct {
+		key   string
+		bytes int64
+		mtime int64
+	}
+	var found []old
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, snapshotExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, old{
+			key:   strings.TrimSuffix(name, snapshotExt),
+			bytes: info.Size(),
+			mtime: info.ModTime().UnixNano(),
+		})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range found {
+		c.diskInsertLocked(f.key, f.bytes)
+	}
+}
+
+// diskInsertLocked records (or refreshes) one snapshot file in the disk
+// LRU and evicts least-recently-used files past the byte budget, never
+// the entry just inserted. Caller holds c.mu; file removal happens under
+// the lock, which is fine for the small snapshot counts involved.
+func (c *Cache) diskInsertLocked(key string, bytes int64) {
+	if el, ok := c.ditems[key]; ok {
+		de := el.Value.(*diskEntry)
+		c.diskBytes += bytes - de.bytes
+		de.bytes = bytes
+		c.dll.MoveToFront(el)
+	} else {
+		c.ditems[key] = c.dll.PushFront(&diskEntry{key: key, bytes: bytes})
+		c.diskBytes += bytes
+	}
+	if c.diskBudget <= 0 {
+		return
+	}
+	for c.diskBytes > c.diskBudget && c.dll.Len() > 1 {
+		last := c.dll.Back()
+		victim := last.Value.(*diskEntry)
+		c.dll.Remove(last)
+		delete(c.ditems, victim.key)
+		c.diskBytes -= victim.bytes
+		c.stats.DiskEvictions++
+		os.Remove(filepath.Join(c.dir, victim.key+snapshotExt))
+	}
+}
+
+// diskTouchLocked refreshes a snapshot's recency after a disk hit.
+func (c *Cache) diskTouchLocked(key string) {
+	if el, ok := c.ditems[key]; ok {
+		c.dll.MoveToFront(el)
+	}
 }
 
 // Dir reports the active snapshot directory ("" when the disk level is
@@ -175,6 +286,8 @@ func (c *Cache) Stats() Stats {
 	s := c.stats
 	s.BytesInMem = uint64(c.bytes)
 	s.Entries = c.ll.Len()
+	s.DiskBytes = uint64(c.diskBytes)
+	s.DiskFiles = c.dll.Len()
 	return s
 }
 
@@ -257,6 +370,7 @@ func (c *Cache) fetchOrBuild(key string, m workloads.Model, machine cache.Config
 			c.mu.Lock()
 			c.stats.DiskHits++
 			c.stats.BytesRead += uint64(n)
+			c.diskTouchLocked(key)
 			c.mu.Unlock()
 			return s, nil
 		}
@@ -278,15 +392,97 @@ func (c *Cache) fetchOrBuild(key string, m workloads.Model, machine cache.Config
 		if n, err := writeSnapshot(c.snapshotPath(key), key, s); err == nil {
 			c.mu.Lock()
 			c.stats.BytesWritten += uint64(n)
+			c.diskInsertLocked(key, int64(n))
 			c.mu.Unlock()
 		}
 	}
 	return s, nil
 }
 
+// snapshotExt is the snapshot file suffix under the cache directory.
+const snapshotExt = ".sllc"
+
 // snapshotPath maps a key to its snapshot file.
 func (c *Cache) snapshotPath(key string) string {
-	return filepath.Join(c.dir, key+".sllc")
+	return filepath.Join(c.dir, key+snapshotExt)
+}
+
+// Contains reports whether the cache can serve key without a build: the
+// stream is resident in the process level, or a snapshot file for it is
+// tracked on disk. A tracked file that was deleted behind the cache's
+// back makes Contains optimistic; SnapshotBytes and Stream still fall
+// soft in that case.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return true
+	}
+	_, ok := c.ditems[key]
+	return ok
+}
+
+// SnapshotBytes returns the validated snapshot image for key, for
+// serving to a peer over GET /v1/streams/{hash}. It prefers the disk
+// file (checked against the key, magic and checksum before serving, so a
+// corrupt file is never propagated) and falls back to encoding the
+// resident in-memory stream when the disk level is off or the file is
+// missing. ok is false when the cache cannot produce a valid image.
+func (c *Cache) SnapshotBytes(key string) (data []byte, ok bool) {
+	if c.dir != "" {
+		if b, err := os.ReadFile(c.snapshotPath(key)); err == nil {
+			if validateSnapshot(b, key) == nil {
+				c.mu.Lock()
+				c.stats.BytesRead += uint64(len(b))
+				c.diskTouchLocked(key)
+				c.mu.Unlock()
+				return b, true
+			}
+		}
+	}
+	c.mu.Lock()
+	el, resident := c.items[key]
+	var s *sim.Stream
+	if resident {
+		s = el.Value.(*entry).s
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !resident {
+		return nil, false
+	}
+	b, err := encodeSnapshot(key, s)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// PutSnapshot installs a peer-transferred snapshot image under key and
+// returns the decoded stream. The image is fully validated (magic, key,
+// checksum, record decode) before anything is stored — a truncated or
+// corrupt transfer returns an error and leaves both cache levels
+// untouched, so the caller falls soft to a local rebuild. On success the
+// stream becomes resident in the process level and, when the disk level
+// is on, the image is atomically written into the snapshot store.
+func (c *Cache) PutSnapshot(key string, data []byte, m workloads.Model) (*sim.Stream, error) {
+	s, err := decodeSnapshot(data, key, m)
+	if err != nil {
+		return nil, fmt.Errorf("streamcache: rejecting snapshot for %s: %w", key, err)
+	}
+	c.mu.Lock()
+	c.stats.Puts++
+	c.insertLocked(key, s)
+	c.mu.Unlock()
+	if c.dir != "" {
+		if err := writeSnapshotBytes(c.snapshotPath(key), data); err == nil {
+			c.mu.Lock()
+			c.stats.BytesWritten += uint64(len(data))
+			c.diskInsertLocked(key, int64(len(data)))
+			c.mu.Unlock()
+		}
+	}
+	return s, nil
 }
 
 // streamBytes approximates a stream's resident size for the byte budget:

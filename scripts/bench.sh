@@ -12,8 +12,13 @@
 # are not skewed by it.
 #
 #   scripts/bench.sh [output.json] [baseline.json]
-#     default output:   BENCH_PR6.json
-#     default baseline: BENCH_PR4.json (skipped when absent)
+#     default output:   BENCH_PR7.json
+#     default baseline: BENCH_PR6.json (skipped when absent)
+#
+# The PR 7 cluster section records the wall time of the fixed-catalogue
+# sweep through an in-process coordinator with 1, 2 and 4 workers
+# (cmd/dumprows -cluster N, which also byte-verifies the merge), so the
+# JSON tracks scaling efficiency, not just per-op latency.
 #
 # SHARELLC_BENCH_SCALE (default 1 = full size) scales the suite used by
 # the cold/warm construction benchmarks.
@@ -28,8 +33,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
-BASELINE="${2:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR7.json}"
+BASELINE="${2:-BENCH_PR6.json}"
 BENCHES='^(BenchmarkF1SharedHitFraction4MB|BenchmarkF2SharedHitFraction8MB|BenchmarkF9SharingPhases|BenchmarkComparePoliciesSuite)$'
 SUITE_BENCHES='^(BenchmarkSuiteBuildCold|BenchmarkSuiteBuildWarm)$'
 export SHARELLC_BENCH_SCALE="${SHARELLC_BENCH_SCALE:-1}"
@@ -51,7 +56,26 @@ XDG_CACHE_HOME="$(mktemp -d)" \
   go test -bench "$SUITE_BENCHES" -count=1 -run '^$' -timeout 60m \
   ./internal/sim/streamcache | tee "$SUITE_RAW" >&2
 
-awk -v scale="$SHARELLC_BENCH_SCALE" '
+# Cluster scaling: wall time of the fixed-catalogue sweep distributed
+# over N in-process workers (real HTTP lease/fetch/merge path). Each run
+# also byte-verifies the merged tables against the direct path — a
+# failing diff fails the bench.
+DUMPBIN="$(mktemp)"
+go build -o "$DUMPBIN" ./cmd/dumprows
+CLUSTER_JSON="{"
+for n in 1 2 4; do
+  start_ns="$(date +%s%N)"
+  "$DUMPBIN" -cluster "$n" >&2
+  end_ns="$(date +%s%N)"
+  ms=$(( (end_ns - start_ns) / 1000000 ))
+  echo "cluster sweep, $n worker(s): ${ms} ms" >&2
+  [[ "$n" != 1 ]] && CLUSTER_JSON+=", "
+  CLUSTER_JSON+="\"workers_${n}_wall_ms\": ${ms}"
+done
+CLUSTER_JSON+="}"
+rm -f "$DUMPBIN"
+
+awk -v scale="$SHARELLC_BENCH_SCALE" -v cluster="$CLUSTER_JSON" '
   function flush_bench(    i) {
     if (!first) printf ",\n"
     first = 0
@@ -100,6 +124,7 @@ awk -v scale="$SHARELLC_BENCH_SCALE" '
       printf "\"warm_speedup\": %.2f},\n", suite_cold / suite_warm
     else
       printf "\"warm_speedup\": null},\n"
+    printf "  \"cluster\": %s,\n", (cluster == "" ? "null" : cluster)
     printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\",\n", goos, goarch, cpu
     seed_ns = 3600000000
     print "  \"seed_baseline\": {"
