@@ -40,6 +40,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -96,9 +98,38 @@ func run(w io.Writer, args []string) error {
 		jsonOut  = fs.Bool("json", false, "emit one compact JSON object per table (the daemon's encoding)")
 		quiet    = fs.Bool("quiet", false, "suppress progress messages")
 		cachedir = fs.String("cachedir", "auto", "stream snapshot directory (auto = user cache dir, off = no stream cache)")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof  = fs.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		// Deferred so the profile covers the whole run, including the
+		// error paths: runtime.GC first so the snapshot reflects live
+		// heap, not collection timing.
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+			f.Close()
+		}()
 	}
 	o := options{
 		exp:   strings.ToLower(*exp),

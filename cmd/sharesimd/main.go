@@ -30,6 +30,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,6 +56,7 @@ func main() {
 		memMB    = flag.Int64("stream-mem", 0, "in-process stream cache budget in MB (0 = default, <0 = unlimited)")
 		diskMB   = flag.Int64("cache-max-bytes", 0, "on-disk snapshot store budget in MB (0 = unlimited); LRU snapshots are evicted past it")
 		kernel   = flag.String("kernel", "batch", "fused-replay kernel: batch or scalar")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 
 		mode     = flag.String("mode", "single", "daemon role: single, coordinator or worker")
 		coordURL = flag.String("coordinator-url", "", "coordinator base URL (worker mode, required)")
@@ -67,6 +69,17 @@ func main() {
 	kern, err := sharing.ParseKernel(*kernel)
 	if err != nil {
 		log.Fatalf("unknown kernel %q (want batch or scalar)", *kernel)
+	}
+	if *pprofOn != "" {
+		// The profiling endpoints live on their own listener, never on
+		// the job API's: -pprof is for operators on a trusted interface,
+		// and DefaultServeMux is where net/http/pprof registers itself.
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofOn)
+			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 	switch *mode {
 	case "single", "coordinator", "worker":

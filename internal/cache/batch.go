@@ -1,5 +1,10 @@
 package cache
 
+import (
+	"os"
+	"sync/atomic"
+)
+
 // Batched replay entry points.
 //
 // AccessRef and FillRef are per-access calls: every access pays the call
@@ -32,6 +37,115 @@ const (
 	BatchHit   uint32 = 1 << 30
 	BatchEvict uint32 = 1 << 31
 )
+
+// BatchKernel is a monomorphic specialization of the ReplayBatchCols
+// chunk loop for one concrete (cache, policy) pair: a single call probes
+// a whole chunk of pre-decoded columns with the policy's Hit/Victim/Fill
+// logic inlined into the loop body instead of dispatched through the
+// Policy interface per access. A kernel must perform exactly the state
+// transitions of the generic loop — same outcome words, same counter
+// advances, same residency-table and policy-state updates in the same
+// order — so kernel and generic replays stay bit-identical (the
+// TestBatchPolicyVsGeneric differentials hold every kernel to it).
+// accs runs in lockstep with the columns; most kernels never touch it
+// (their policies ignore the AccessInfo), the exceptions being the
+// Write bit on fills and SHiP's fill PC / SHiP-S's hit core.
+type BatchKernel func(blk []uint64, id []uint32, accs []AccessInfo, active, lineID, out []uint32)
+
+// BatchPolicy is the optional capability interface of the batch replay
+// path. A policy that implements it supplies a BatchKernel bound to the
+// cache at construction time: NewSetAssoc performs the type assertion
+// once, so the per-access interface dispatch the generic loop pays
+// (three non-inlinable dynamic calls in the hottest loop of the repo)
+// disappears for the lanes that dominate sweep time. Policies decline by
+// returning nil (e.g. for a geometry their specialized victim search
+// does not support), falling back to the generic loop.
+//
+// NewBatchKernel is called after Attach, so the returned closure may
+// capture the policy's state slices directly. Wrappers that delegate to
+// a base policy (core.Protector) must NOT forward this interface: a
+// base kernel would bypass the wrapper's overrides. Holding the base as
+// an interface field (not embedding) gives that for free.
+type BatchPolicy interface {
+	Policy
+	NewBatchKernel(c *SetAssoc) BatchKernel
+}
+
+// batchKernelsOn gates BatchPolicy specialization globally. Default on;
+// SHARELLC_BATCH_POLICY=off (or EnableBatchKernels(false)) forces every
+// cache onto the generic interface loop, which CI uses to keep the
+// fallback path green and tests use for kernel-vs-generic differentials.
+var batchKernelsOn atomic.Bool
+
+func init() {
+	batchKernelsOn.Store(os.Getenv("SHARELLC_BATCH_POLICY") != "off")
+}
+
+// EnableBatchKernels toggles BatchPolicy specialization for caches
+// constructed afterwards, returning the previous setting. Existing
+// caches keep the kernel they were built with.
+func EnableBatchKernels(on bool) (prev bool) {
+	return batchKernelsOn.Swap(on)
+}
+
+// HasBatchKernel reports whether this cache's batch replay runs a
+// monomorphic kernel (true) or the generic interface loop (false).
+func (c *SetAssoc) HasBatchKernel() bool { return c.kernel != nil }
+
+// bindBatchKernel performs the one-time specialization type switch of
+// lane setup: called from NewSetAssoc after Attach.
+func (c *SetAssoc) bindBatchKernel() {
+	if !batchKernelsOn.Load() {
+		return
+	}
+	if bp, ok := c.policy.(BatchPolicy); ok {
+		c.kernel = bp.NewBatchKernel(c)
+	}
+}
+
+// Kernel-support surface: the few pieces of SetAssoc state a
+// monomorphic kernel maintains in place of the generic loop. These are
+// exported only for BatchKernel implementations (internal/policy); all
+// other callers go through the Access/Replay entry points.
+
+// KernelGeom returns the geometry constants a kernel bakes into its
+// chunk loop: the set-index mask and the associativity.
+func (c *SetAssoc) KernelGeom() (mask uint64, ways int) { return c.mask, c.ways }
+
+// KernelValid exposes the per-set valid-way counts; a count equal to
+// Ways() means the set is full and a fill must evict.
+func (c *SetAssoc) KernelValid() []uint16 { return c.valid }
+
+// KernelStoreLine records a fill of block into line li, mirroring the
+// generic loop's tag update (a write miss fills the line dirty; like the
+// generic batch path, write hits do not set the dirty bit).
+func (c *SetAssoc) KernelStoreLine(li uint32, block uint64, dirty bool) {
+	c.lines[li] = makeLine(block, dirty)
+}
+
+// KernelColdWay is the cold half of fillSlot for kernels: the line index
+// of the first invalid way of a non-full set, counting the new line into
+// the set's valid count. Kernels inline only the full-set victim search
+// (the steady state); the filling phase takes this call.
+func (c *SetAssoc) KernelColdWay(set int) uint32 {
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if !c.lines[base+w].valid() {
+			c.valid[set]++
+			return uint32(base + w)
+		}
+	}
+	panic("cache: set valid count below ways but no invalid way")
+}
+
+// KernelCommit folds one chunk's counters into the cache's, exactly as
+// the generic loop does at the end of its walk.
+func (c *SetAssoc) KernelCommit(hits, fills, evicts uint64) {
+	c.accesses += hits + fills
+	c.hits += hits
+	c.fills += fills
+	c.evicts += evicts
+}
 
 // ReplayBatch presents accs to the cache in one tight loop, writing one
 // outcome word per access into out (len(out) must be ≥ len(accs)) and
@@ -76,6 +190,10 @@ func (c *SetAssoc) ReplayBatch(accs []AccessInfo, active, lineID, out []uint32) 
 // dereference it), so a lane walk streams a few bytes per access
 // instead of the full record. blk, id, accs and out run in lockstep.
 func (c *SetAssoc) ReplayBatchCols(blk []uint64, id []uint32, accs []AccessInfo, active, lineID, out []uint32) {
+	if c.kernel != nil {
+		c.kernel(blk, id, accs, active, lineID, out)
+		return
+	}
 	pol := c.policy
 	ways := c.ways
 	mask := c.mask

@@ -118,6 +118,7 @@ type SetAssoc struct {
 	lines  []line   // sets*ways, row-major by set
 	valid  []uint16 // per-set count of valid lines; == ways means full
 	policy Policy
+	kernel BatchKernel // monomorphic batch probe, nil = generic loop
 
 	// Counters.
 	accesses uint64
@@ -161,14 +162,16 @@ func NewSetAssoc(sizeBytes, ways int, policy Policy) (*SetAssoc, error) {
 	policy.Attach(sets, ways)
 	lines := make([]line, sets*ways)
 	mem.Hugepages(lines) // tag array is hit at a random set every access
-	return &SetAssoc{
+	c := &SetAssoc{
 		sets:   sets,
 		ways:   ways,
 		mask:   uint64(sets - 1),
 		lines:  lines,
 		valid:  make([]uint16, sets),
 		policy: policy,
-	}, nil
+	}
+	c.bindBatchKernel()
+	return c, nil
 }
 
 // Sets returns the number of sets.

@@ -132,6 +132,43 @@ func (h *Hierarchy) Stats() (refs, l1Hits, l2Hits, llcRefs uint64) {
 	return h.refs, h.l1Hits, h.l2Hits, h.llcRefs
 }
 
+// streamBuilder accumulates an LLC reference stream in geometrically
+// growing segments joined once at the end. A plain append over a
+// multi-gigabyte stream re-copies the whole prefix on every capacity
+// step — several times the final size in memmove by the time the last
+// record lands — where segments write each record exactly once and the
+// join copies it exactly once more. Index is assigned in add, so the
+// record's stream position is final at creation.
+type streamBuilder struct {
+	segs [][]AccessInfo
+	seg  []AccessInfo
+	n    int64
+}
+
+func (b *streamBuilder) add(a AccessInfo) {
+	if len(b.seg) == cap(b.seg) {
+		next := 1 << 15
+		if c := 2 * cap(b.seg); c > next {
+			next = c
+		}
+		if b.seg != nil {
+			b.segs = append(b.segs, b.seg)
+		}
+		b.seg = make([]AccessInfo, 0, next)
+	}
+	a.Index = b.n
+	b.n++
+	b.seg = append(b.seg, a)
+}
+
+func (b *streamBuilder) join() []AccessInfo {
+	out := make([]AccessInfo, 0, b.n)
+	for _, s := range b.segs {
+		out = append(out, s...)
+	}
+	return append(out, b.seg...)
+}
+
 // FilterStream runs the whole trace through a fresh private hierarchy and
 // returns the LLC reference stream with Index assigned and NextUse left
 // unset (callers that need OPT call AnnotateNextUse).
@@ -140,7 +177,7 @@ func FilterStream(r trace.Reader, cfg Config) ([]AccessInfo, *Hierarchy, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	var stream []AccessInfo
+	var b streamBuilder
 	for {
 		a, ok := r.Next()
 		if !ok {
@@ -151,12 +188,11 @@ func FilterStream(r trace.Reader, cfg Config) ([]AccessInfo, *Hierarchy, error) 
 			return nil, nil, err
 		}
 		if toLLC {
-			stream = append(stream, AccessInfo{
+			b.add(AccessInfo{
 				Block:   a.Addr.BlockID(),
 				Core:    a.Core,
 				PC:      a.PC,
 				Write:   a.Write,
-				Index:   int64(len(stream)),
 				NextUse: NoNextUse,
 			})
 		}
@@ -164,7 +200,7 @@ func FilterStream(r trace.Reader, cfg Config) ([]AccessInfo, *Hierarchy, error) 
 	if err := r.Err(); err != nil {
 		return nil, nil, err
 	}
-	return stream, h, nil
+	return b.join(), h, nil
 }
 
 // FilterStreamWriteback is FilterStream with dirty-victim writeback
@@ -176,13 +212,12 @@ func FilterStreamWriteback(r trace.Reader, cfg Config) ([]AccessInfo, *Hierarchy
 	if err != nil {
 		return nil, nil, err
 	}
-	var stream []AccessInfo
+	var b streamBuilder
 	h.OnWriteback = func(block uint64, core uint8) {
-		stream = append(stream, AccessInfo{
+		b.add(AccessInfo{
 			Block:   block,
 			Core:    core,
 			Write:   true,
-			Index:   int64(len(stream)),
 			NextUse: NoNextUse,
 		})
 	}
@@ -196,12 +231,11 @@ func FilterStreamWriteback(r trace.Reader, cfg Config) ([]AccessInfo, *Hierarchy
 			return nil, nil, err
 		}
 		if toLLC {
-			stream = append(stream, AccessInfo{
+			b.add(AccessInfo{
 				Block:   a.Addr.BlockID(),
 				Core:    a.Core,
 				PC:      a.PC,
 				Write:   a.Write,
-				Index:   int64(len(stream)),
 				NextUse: NoNextUse,
 			})
 		}
@@ -209,7 +243,7 @@ func FilterStreamWriteback(r trace.Reader, cfg Config) ([]AccessInfo, *Hierarchy
 	if err := r.Err(); err != nil {
 		return nil, nil, err
 	}
-	return stream, h, nil
+	return b.join(), h, nil
 }
 
 // AnnotateNextUse assigns dense BlockIDs (AssignBlockIDs) and fills in the

@@ -72,6 +72,66 @@ func (p *LRU) Demote(set, way int) {
 // interleave, so set-sharded replay is exact.
 func (p *LRU) PerSetIndependent() bool { return true }
 
+// minStampWay returns the way of the smallest stamp in the set at base.
+// Kept out of the kernel closure on purpose: as a leaf over one slice
+// the scan compiles to a tight two-register loop, where the same lines
+// inlined into the capture-heavy closure body spill.
+//
+//go:noinline
+func minStampWay(stamp []uint64, base, ways int) int {
+	w, min := 0, stamp[base]
+	for x := 1; x < ways; x++ {
+		if s := stamp[base+x]; s < min {
+			w, min = x, s
+		}
+	}
+	return w
+}
+
+// NewBatchKernel implements BatchPolicy: the LRU probe with touch and
+// the min-stamp victim scan inlined into the chunk loop. The stamp
+// array is flat by line index, so the hit path — the vast majority —
+// touches only the recency stamp at li-1 and never recomputes the set.
+// policy.LRUPolicy inherits this kernel by embedding (it overrides no
+// replacement method, only adds victim ranking).
+func (p *LRU) NewBatchKernel(c *SetAssoc) BatchKernel {
+	mask, ways := c.KernelGeom()
+	valid := c.KernelValid()
+	stamp := p.stamp
+	return func(blk []uint64, id []uint32, accs []AccessInfo, active, lineID, out []uint32) {
+		clock := p.clock
+		var hits, fills, evicts uint64
+		for k := range blk {
+			if li := active[id[k]]; li != 0 {
+				clock++
+				stamp[li-1] = clock
+				out[k] = (li - 1) | BatchHit
+				hits++
+				continue
+			}
+			set := int(blk[k] & mask)
+			var li, o uint32
+			if int(valid[set]) == ways {
+				base := set * ways
+				li, o = uint32(base+minStampWay(stamp, base, ways)), BatchEvict
+				active[lineID[li]] = 0
+				evicts++
+			} else {
+				li = c.KernelColdWay(set)
+			}
+			c.KernelStoreLine(li, blk[k], accs[k].Write)
+			clock++
+			stamp[li] = clock
+			lineID[li] = id[k]
+			active[id[k]] = li + 1
+			out[k] = li | o
+			fills++
+		}
+		p.clock = clock
+		c.KernelCommit(hits, fills, evicts)
+	}
+}
+
 // Ways returns the associativity this policy was attached with.
 func (p *LRU) Ways() int { return p.ways }
 

@@ -124,9 +124,13 @@ func (p *FIFO) RankVictims(set int, _ *cache.AccessInfo) []int {
 // lowest-numbered way with a clear bit, and when all bits in a set are set
 // they are cleared (except the just-used way's semantics follow the usual
 // formulation: clear all, then pick way 0).
+// Reference "bits" are one byte per line (0 = clear, 1 = set): flat by
+// line index so the batch kernel updates them without recomputing the
+// set, and byte-wide so its victim search can scan eight ways per
+// machine word (see NewBatchKernel).
 type NRU struct {
 	ways    int
-	ref     []bool
+	ref     []uint8
 	rankBuf []int
 }
 
@@ -139,31 +143,31 @@ func (p *NRU) Name() string { return "nru" }
 // Attach implements cache.Policy.
 func (p *NRU) Attach(sets, ways int) {
 	p.ways = ways
-	p.ref = make([]bool, sets*ways)
+	p.ref = make([]uint8, sets*ways)
 	mem.Hugepages(p.ref)
 }
 
 // Hit implements cache.Policy.
-func (p *NRU) Hit(set, way int, _ *cache.AccessInfo) { p.ref[set*p.ways+way] = true }
+func (p *NRU) Hit(set, way int, _ *cache.AccessInfo) { p.ref[set*p.ways+way] = 1 }
 
 // Fill implements cache.Policy.
-func (p *NRU) Fill(set, way int, _ *cache.AccessInfo) { p.ref[set*p.ways+way] = true }
+func (p *NRU) Fill(set, way int, _ *cache.AccessInfo) { p.ref[set*p.ways+way] = 1 }
 
 // Demote clears way's reference bit, making it a preferred victim
 // (core.Demoter).
-func (p *NRU) Demote(set, way int) { p.ref[set*p.ways+way] = false }
+func (p *NRU) Demote(set, way int) { p.ref[set*p.ways+way] = 0 }
 
 // Victim implements cache.Policy.
 func (p *NRU) Victim(set int, _ *cache.AccessInfo) int {
 	base := set * p.ways
 	for w := 0; w < p.ways; w++ {
-		if !p.ref[base+w] {
+		if p.ref[base+w] == 0 {
 			return w
 		}
 	}
 	// All recently used: age the whole set and take way 0.
 	for w := 0; w < p.ways; w++ {
-		p.ref[base+w] = false
+		p.ref[base+w] = 0
 	}
 	return 0
 }
@@ -176,10 +180,7 @@ func (p *NRU) PerSetIndependent() bool { return true }
 // way), then set-bit ways.
 func (p *NRU) RankVictims(set int, _ *cache.AccessInfo) []int {
 	p.rankBuf = rankByKey(p.ways, func(w int) int64 {
-		if p.ref[set*p.ways+w] {
-			return 0
-		}
-		return 1
+		return 1 - int64(p.ref[set*p.ways+w])
 	}, p.rankBuf)
 	return p.rankBuf
 }

@@ -286,6 +286,19 @@ func runPolicyPassBatch(stream []cache.AccessInfo, l *lane, opt Options) error {
 	active := l.active
 	lineID := grab(&scratch.cols, l.sets*ways, false)
 	out := grab(&scratch.cols, batchSize, false)
+	// When the policy carries a monomorphic kernel, the pass decodes
+	// block/BlockID columns chunk by chunk and probes through
+	// ReplayBatchCols, so the specialized loop (not the interface walk of
+	// ReplayBatch) runs the stream-order pass too — two-phase policies are
+	// the lanes a sweep spends most of its time in. The call sequence into
+	// cross-set policy state (RNG draws, dueling updates, SHCT training)
+	// is identical either way.
+	var blkCol []uint64
+	var idCol []uint32
+	if llc.HasBatchKernel() {
+		blkCol = grab(&scratch.blks, batchSize, false)
+		idCol = grab(&scratch.cols, batchSize, false)
+	}
 	for lo := 0; lo < len(stream); lo += batchSize {
 		hi := lo + batchSize
 		if hi > len(stream) {
@@ -297,7 +310,16 @@ func runPolicyPassBatch(stream []cache.AccessInfo, l *lane, opt Options) error {
 			}
 		}
 		o := out[:hi-lo]
-		llc.ReplayBatch(stream[lo:hi], active, lineID, o)
+		chunk := stream[lo:hi]
+		if blkCol != nil {
+			for k := range chunk {
+				blkCol[k] = chunk[k].Block
+				idCol[k] = chunk[k].BlockID
+			}
+			llc.ReplayBatchCols(blkCol[:len(chunk)], idCol[:len(chunk)], chunk, active, lineID, o)
+		} else {
+			llc.ReplayBatch(chunk, active, lineID, o)
+		}
 		for k := range o {
 			set := uint32(stream[lo+k].Block&setMask) * uint32(ways)
 			log[lo+k] = uint8(o[k]&cache.BatchLine-set) | uint8(o[k]>>24&uint32(logHit|logEvict))
@@ -309,5 +331,9 @@ func runPolicyPassBatch(stream []cache.AccessInfo, l *lane, opt Options) error {
 	clear(active)
 	put(&scratch.cols, lineID)
 	put(&scratch.cols, out)
+	if blkCol != nil {
+		put(&scratch.blks, blkCol)
+		put(&scratch.cols, idCol)
+	}
 	return nil
 }

@@ -4,15 +4,21 @@
 #
 # Pinned set: the F1/F2 characterization benchmarks (the replay engine's
 # hot path, full-size suite), F9 (the stream-side analyzers), the PR 4
-# ComparePoliciesSuite sweep (the fused multi-policy replay) and the PR 6
-# BatchKernel probe-phase micro, three counted runs each, plus the PR 3
-# stream-cache pair (suite construction cold vs. warm). The first
-# iteration of each also pays the one-time suite build (sync.Once); it is
-# recorded separately as the "cold" sample so the steady-state statistics
-# are not skewed by it.
+# ComparePoliciesSuite sweep (the fused multi-policy replay) and its
+# scalar twin (the batch-vs-scalar A/B), and the PR 6 BatchKernel
+# probe-phase micro, three counted runs each, plus the PR 3 stream-cache
+# pair (suite construction cold vs. warm). The first iteration of each
+# also pays the one-time suite build (sync.Once); it is recorded
+# separately as the "cold" sample so the steady-state statistics are not
+# skewed by it.
+#
+# The PR 8 batch_kernel section records, per specialized policy, the
+# steady-state ns/access of the monomorphic batch kernel and of the
+# generic interface loop over the same stream (internal/policy's
+# BenchmarkBatchKernel sub-benchmarks), plus the per-policy speedup.
 #
 #   scripts/bench.sh [output.json] [baseline.json]
-#     default output:   BENCH_PR7.json
+#     default output:   BENCH_PR8.json
 #     default baseline: BENCH_PR6.json (skipped when absent)
 #
 # The PR 7 cluster section records the wall time of the fixed-catalogue
@@ -33,14 +39,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
 BASELINE="${2:-BENCH_PR6.json}"
-BENCHES='^(BenchmarkF1SharedHitFraction4MB|BenchmarkF2SharedHitFraction8MB|BenchmarkF9SharingPhases|BenchmarkComparePoliciesSuite)$'
+BENCHES='^(BenchmarkF1SharedHitFraction4MB|BenchmarkF2SharedHitFraction8MB|BenchmarkF9SharingPhases|BenchmarkComparePoliciesSuite|BenchmarkComparePoliciesSuiteScalar)$'
 SUITE_BENCHES='^(BenchmarkSuiteBuildCold|BenchmarkSuiteBuildWarm)$'
 export SHARELLC_BENCH_SCALE="${SHARELLC_BENCH_SCALE:-1}"
 RAW="$(mktemp)"
 SUITE_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$SUITE_RAW"' EXIT
+POLICY_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$SUITE_RAW" "$POLICY_RAW"' EXIT
 
 go test -bench "$BENCHES" -benchmem -count=3 -run '^$' -timeout 60m . | tee "$RAW" >&2
 
@@ -49,6 +56,34 @@ go test -bench "$BENCHES" -benchmem -count=3 -run '^$' -timeout 60m . | tee "$RA
 # benchmark name, so the samples land in the same JSON array.
 go test -bench '^BenchmarkBatchKernel$' -benchmem -count=3 -run '^$' -timeout 10m \
   ./internal/cache | tee -a "$RAW" >&2
+
+# Per-policy monomorphic kernel vs generic interface loop (the PR 8
+# specialization A/B), parsed into the batch_kernel JSON section below.
+go test -bench '^BenchmarkBatchKernel$' -count=3 -run '^$' -timeout 30m \
+  ./internal/policy | tee "$POLICY_RAW" >&2
+
+KERNEL_JSON="$(awk '
+  /^BenchmarkBatchKernel\// {
+    name = $1
+    sub(/^BenchmarkBatchKernel\//, "", name); sub(/-[0-9]+$/, "", name)
+    v = ""
+    for (i = 2; i <= NF; i++) if ($i == "ns/access") v = $(i - 1) + 0
+    if (v == "") next
+    if (!(name in best) || v < best[name]) best[name] = v
+    if (name !~ /\/generic$/ && !(name in seen)) { seen[name] = 1; order[++n] = name }
+  }
+  END {
+    printf "{"
+    for (i = 1; i <= n; i++) {
+      p = order[i]
+      g = best[p "/generic"]
+      if (i > 1) printf ", "
+      printf "\"%s\": {\"kernel_ns_per_access\": %g, \"generic_ns_per_access\": %s, \"speedup\": %s}", \
+        p, best[p], (g == "" ? "null" : g "" ), \
+        (g != "" && best[p] > 0 ? sprintf("%.2f", g / best[p]) : "null")
+    }
+    printf "}"
+  }' "$POLICY_RAW")"
 
 # The suite-construction pair runs in an isolated user cache dir so the
 # warm measurement only ever sees snapshots its own cold pass wrote.
@@ -75,7 +110,7 @@ done
 CLUSTER_JSON+="}"
 rm -f "$DUMPBIN"
 
-awk -v scale="$SHARELLC_BENCH_SCALE" -v cluster="$CLUSTER_JSON" '
+awk -v scale="$SHARELLC_BENCH_SCALE" -v cluster="$CLUSTER_JSON" -v batchkernel="$KERNEL_JSON" '
   function flush_bench(    i) {
     if (!first) printf ",\n"
     first = 0
@@ -125,6 +160,14 @@ awk -v scale="$SHARELLC_BENCH_SCALE" -v cluster="$CLUSTER_JSON" '
     else
       printf "\"warm_speedup\": null},\n"
     printf "  \"cluster\": %s,\n", (cluster == "" ? "null" : cluster)
+    printf "  \"batch_kernel\": %s,\n", (batchkernel == "" ? "null" : batchkernel)
+    # Suite-level batch-vs-scalar A/B from the steady-state minima.
+    bs = steady["BenchmarkComparePoliciesSuite"]
+    ss = steady["BenchmarkComparePoliciesSuiteScalar"]
+    if (bs > 0 && ss > 0)
+      printf "  \"suite_batch_vs_scalar\": {\"batch_ns_per_op\": %g, \"scalar_ns_per_op\": %g, \"speedup\": %.2f},\n", bs, ss, ss / bs
+    else
+      print "  \"suite_batch_vs_scalar\": null,"
     printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\",\n", goos, goarch, cpu
     seed_ns = 3600000000
     print "  \"seed_baseline\": {"
