@@ -44,6 +44,7 @@ var tinyMachine = cache.Config{
 
 func main() {
 	kernel := flag.String("kernel", "batch", "replay kernel: batch or scalar")
+	tracker := flag.String("tracker", "soa", "batched residency tracker: soa or struct")
 	tables := flag.Bool("tables", false, "print canonical table JSON instead of raw rows")
 	clusterN := flag.Int("cluster", 0, "run through an in-process coordinator with N workers and byte-compare against the direct run")
 	exps := flag.String("exps", "all", "comma-separated experiment ids for -tables/-cluster")
@@ -52,21 +53,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	track, err := sharing.ParseTracker(*tracker)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *clusterN > 0 {
-		if err := diffCluster(kern, strings.Split(*exps, ","), *clusterN); err != nil {
+		if err := diffCluster(kern, track, strings.Split(*exps, ","), *clusterN); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	if *tables {
-		out, err := directTables(fixedRequest(strings.Split(*exps, ",")), kern)
+		out, err := directTables(fixedRequest(strings.Split(*exps, ",")), kern, track)
 		if err != nil {
 			log.Fatal(err)
 		}
 		os.Stdout.Write(renderTables(out))
 		return
 	}
-	dumpRows(kern)
+	dumpRows(kern, track)
 }
 
 // fixedRequest is the harness request both execution paths run.
@@ -84,7 +89,7 @@ func fixedRequest(exps []string) cluster.Request {
 
 // directTables runs the request through the plain experiment index, the
 // way a single daemon or the CLI would.
-func directTables(req cluster.Request, kern sharing.Kernel) ([]*report.Table, error) {
+func directTables(req cluster.Request, kern sharing.Kernel, track sharing.Tracker) ([]*report.Table, error) {
 	if err := req.Normalize(); err != nil {
 		return nil, err
 	}
@@ -109,6 +114,7 @@ func directTables(req cluster.Request, kern sharing.Kernel) ([]*report.Table, er
 					Scale:   req.Scale,
 					Models:  models,
 					Kernel:  kern,
+					Tracker: track,
 				})
 				if err != nil {
 					return nil, err
@@ -128,9 +134,9 @@ func directTables(req cluster.Request, kern sharing.Kernel) ([]*report.Table, er
 // diffCluster runs the fixed request both ways — direct and through an
 // in-process coordinator with n polling workers over real HTTP — and
 // byte-compares the rendered tables.
-func diffCluster(kern sharing.Kernel, exps []string, n int) error {
+func diffCluster(kern sharing.Kernel, track sharing.Tracker, exps []string, n int) error {
 	req := fixedRequest(exps)
-	direct, err := directTables(req, kern)
+	direct, err := directTables(req, kern, track)
 	if err != nil {
 		return fmt.Errorf("direct run: %w", err)
 	}
@@ -154,6 +160,7 @@ func diffCluster(kern sharing.Kernel, exps []string, n int) error {
 			SelfURL:        ws.URL,
 			Cache:          streamcache.New(streamcache.Options{}),
 			Kernel:         kern,
+			Tracker:        track,
 			Poll:           20 * time.Millisecond,
 		})
 		if err != nil {
@@ -190,7 +197,7 @@ func diffCluster(kern sharing.Kernel, exps []string, n int) error {
 }
 
 // dumpRows is the original raw-row diff dump.
-func dumpRows(kern sharing.Kernel) {
+func dumpRows(kern sharing.Kernel, track sharing.Tracker) {
 	models := make([]workloads.Model, 0, 3)
 	for _, name := range []string{"canneal", "streamcluster", "swaptions"} {
 		m, err := workloads.ByName(name)
@@ -205,6 +212,7 @@ func dumpRows(kern sharing.Kernel) {
 		Scale:   0.05,
 		Models:  models,
 		Kernel:  kern,
+		Tracker: track,
 	}
 	s, err := sim.NewSuite(cfg)
 	if err != nil {

@@ -69,6 +69,7 @@ type options struct {
 	scale     float64
 	seed      uint64
 	kernel    sharing.Kernel
+	tracker   sharing.Tracker
 	prot      core.Options
 	policies  []string
 	workloads []string
@@ -89,6 +90,7 @@ func run(w io.Writer, args []string) error {
 		seed     = fs.Uint64("seed", 1, "master random seed")
 		strength = fs.String("strength", "full", "protection strength: full or insert-only")
 		kernel   = fs.String("kernel", "batch", "fused-replay kernel: batch or scalar")
+		tracker  = fs.String("tracker", "soa", "batched residency tracker: soa or struct")
 		skip     = fs.Int("skip-budget", 0, "protected-block skip budget (0 = default, <0 = unlimited)")
 		clear    = fs.Bool("clear-on-hit", false, "drop protection once the predicted cross-core hit arrives")
 		pols     = fs.String("policies", "lru,nru,srrip,drrip,ship", "comma-separated policies for f5")
@@ -149,6 +151,9 @@ func run(w io.Writer, args []string) error {
 	if o.kernel, err = sharing.ParseKernel(*kernel); err != nil {
 		return fmt.Errorf("unknown kernel %q (want batch or scalar)", *kernel)
 	}
+	if o.tracker, err = sharing.ParseTracker(*tracker); err != nil {
+		return fmt.Errorf("unknown tracker %q (want soa or struct)", *tracker)
+	}
 	o.prot.SkipBudget = *skip
 	o.prot.ClearOnFulfil = *clear
 	if *pols != "" {
@@ -198,6 +203,7 @@ func dispatch(w io.Writer, o options) error {
 			Scale:   o.scale,
 			Models:  models,
 			Kernel:  o.kernel,
+			Tracker: o.tracker,
 		}
 		var streams *streamcache.Cache
 		if dir, ok := streamcache.DirFromFlag(o.cachedir); ok {

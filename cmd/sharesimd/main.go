@@ -56,6 +56,7 @@ func main() {
 		memMB    = flag.Int64("stream-mem", 0, "in-process stream cache budget in MB (0 = default, <0 = unlimited)")
 		diskMB   = flag.Int64("cache-max-bytes", 0, "on-disk snapshot store budget in MB (0 = unlimited); LRU snapshots are evicted past it")
 		kernel   = flag.String("kernel", "batch", "fused-replay kernel: batch or scalar")
+		tracker  = flag.String("tracker", "soa", "batched residency tracker: soa or struct")
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 
 		mode     = flag.String("mode", "single", "daemon role: single, coordinator or worker")
@@ -69,6 +70,10 @@ func main() {
 	kern, err := sharing.ParseKernel(*kernel)
 	if err != nil {
 		log.Fatalf("unknown kernel %q (want batch or scalar)", *kernel)
+	}
+	track, err := sharing.ParseTracker(*tracker)
+	if err != nil {
+		log.Fatalf("unknown tracker %q (want soa or struct)", *tracker)
 	}
 	if *pprofOn != "" {
 		// The profiling endpoints live on their own listener, never on
@@ -118,13 +123,14 @@ func main() {
 			SelfURL:        *selfURL,
 			Cache:          streams,
 			Kernel:         kern,
+			Tracker:        track,
 			Slots:          *workers,
 			Poll:           *poll,
 		})
 		if err != nil {
 			log.Fatalf("worker: %v", err)
 		}
-		handler = server.NewWorkerServer(w, streams, kern, *workers)
+		handler = server.NewWorkerServer(w, streams, kern, track, *workers)
 		workerDone = make(chan error, 1)
 		go func() { workerDone <- w.Run(ctx) }()
 	default:
@@ -134,6 +140,7 @@ func main() {
 			QueueDepth:  *queueN,
 			StreamCache: streams,
 			Kernel:      kern,
+			Tracker:     track,
 		}
 		if *mode == "coordinator" {
 			cfg.Coordinator = cluster.NewCoordinator(cluster.CoordinatorConfig{

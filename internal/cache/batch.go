@@ -38,6 +38,14 @@ const (
 	BatchEvict uint32 = 1 << 31
 )
 
+// LogByte compresses a batch outcome word into the one-byte-per-access
+// outcome log of internal/sharing's two-phase lanes: the way (the line
+// index minus setBase, the set's first line) lands in the low six bits,
+// and the hit/evict flags shift down from bits 30–31 to bits 6–7.
+func LogByte(o uint32, setBase uint32) uint8 {
+	return uint8(o&BatchLine-setBase) | uint8(o>>24&0xc0)
+}
+
 // BatchKernel is a monomorphic specialization of the ReplayBatchCols
 // chunk loop for one concrete (cache, policy) pair: a single call probes
 // a whole chunk of pre-decoded columns with the policy's Hit/Victim/Fill

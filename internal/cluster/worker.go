@@ -36,6 +36,9 @@ type WorkerConfig struct {
 	Cache *streamcache.Cache
 	// Kernel selects the replay kernel for this worker's suites.
 	Kernel sharing.Kernel
+	// Tracker selects the residency-tracker representation for this
+	// worker's suites.
+	Tracker sharing.Tracker
 	// Slots is the number of bundles executed concurrently. 0 means 1.
 	Slots int
 	// Poll is the idle wait between lease attempts when the coordinator
@@ -255,6 +258,7 @@ func (w *Worker) runBundle(ctx context.Context, b Bundle) (tables []*report.Tabl
 		Scale:   b.Request.Scale,
 		Shards:  sim.ShardBudget(w.cfg.Slots),
 		Kernel:  w.cfg.Kernel,
+		Tracker: w.cfg.Tracker,
 		Streams: w.cfg.Cache.Stream,
 	}
 	if b.Spec == WholeExperiment {

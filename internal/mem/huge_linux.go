@@ -24,6 +24,7 @@ package mem
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"unsafe"
 )
@@ -38,7 +39,33 @@ const (
 	// minHugify is the smallest slice worth the madvise round trips.
 	// Arrays below it fit a handful of TLB entries anyway.
 	minHugify = 64 << 10
+
+	// collapseGiveUp is how many collapse attempts may fail — with none
+	// ever succeeding — before collapse attempts stop for the life of
+	// the process. On hosts where huge pages simply never materialize
+	// (old kernels, THP disabled by the hypervisor, memory too
+	// fragmented to compact), MADV_COLLAPSE is not a cheap no-op: it
+	// walks the range and, under a defrag policy like "madvise", runs
+	// direct compaction before failing. The latch keeps the hint a
+	// hint. The first successful collapse pins attempts on permanently,
+	// so machines where THP works never stop collapsing.
+	collapseGiveUp = 16
 )
+
+var (
+	collapseWorks atomic.Bool
+	collapseFails atomic.Int32
+)
+
+// No attempt is made to remember which regions were already collapsed:
+// the runtime's scavenger returns idle spans to the kernel between
+// replays, which splits their huge pages back into small ones, so a
+// region that was huge a replay ago often is not by the time the next
+// replay's arrays land in it. Re-collapsing is measurably worth its
+// syscall time (skipping collapse for already-eligible regions and
+// leaving khugepaged to re-assemble them asynchronously costs over a
+// second per full-suite sweep on the bench host — the background
+// daemon does not keep up with the allocation churn).
 
 // enableTHP clears the process's PR_SET_THP_DISABLE flag once. Container
 // runtimes and init systems commonly set the flag (it is inherited across
@@ -82,8 +109,13 @@ func Hugepages[T any](s []T) {
 	runtime.KeepAlive(s)
 }
 
-// advise marks [addr, addr+n) huge-page eligible and collapses it,
-// reporting whether both calls succeeded.
+// advise marks [addr, addr+n) huge-page eligible and synchronously
+// collapses it, reporting whether MADV_HUGEPAGE took (the signal
+// Hugepages' range fallback keys on: the flag fails precisely when the
+// range leaves the mapped arena, which an interior retry can fix; a
+// failed collapse on a mapped range cannot be retried into success).
+// Collapse is skipped once the give-up latch has concluded this host
+// never grants huge pages.
 func advise(addr, n uintptr) bool {
 	if n == 0 {
 		return true
@@ -91,6 +123,12 @@ func advise(addr, n uintptr) bool {
 	if _, _, e := syscall.Syscall(syscall.SYS_MADVISE, addr, n, madvHugepage); e != 0 {
 		return false
 	}
-	_, _, e := syscall.Syscall(syscall.SYS_MADVISE, addr, n, madvCollapse)
-	return e == 0
+	if collapseWorks.Load() || collapseFails.Load() < collapseGiveUp {
+		if _, _, errno := syscall.Syscall(syscall.SYS_MADVISE, addr, n, madvCollapse); errno == 0 {
+			collapseWorks.Store(true)
+		} else {
+			collapseFails.Add(1)
+		}
+	}
+	return true
 }

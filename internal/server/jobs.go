@@ -201,6 +201,12 @@ type Config struct {
 	// Runner is set.
 	Kernel sharing.Kernel
 
+	// Tracker is the residency-tracker representation every job's suite
+	// runs with (sim.Config.Tracker): the SoA columns by default, struct
+	// slabs via the daemon's -tracker flag for production bisection.
+	// Ignored when a custom Runner is set.
+	Tracker sharing.Tracker
+
 	// StreamCache, when non-nil, supplies prepared workload streams to
 	// every job's suite construction, so jobs that share (machine, seed,
 	// scale, workloads) — even while differing in LLC size or policy —
@@ -258,7 +264,7 @@ func NewManager(cfg Config) *Manager {
 		if cfg.Coordinator != nil {
 			cfg.Runner = distributedRunner(cfg.Coordinator)
 		} else {
-			cfg.Runner = defaultRunner(cfg.Workers, cfg.StreamCache, cfg.Kernel)
+			cfg.Runner = defaultRunner(cfg.Workers, cfg.StreamCache, cfg.Kernel, cfg.Tracker)
 		}
 	}
 	if cfg.Role == "" {

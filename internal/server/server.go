@@ -218,6 +218,7 @@ type healthView struct {
 	Status        string         `json:"status"` // ok | draining
 	Role          string         `json:"role"`   // single | coordinator | worker
 	Kernel        string         `json:"kernel"`
+	Tracker       string         `json:"tracker"`
 	ShardBudget   int            `json:"shard_budget"`
 	Workers       occupancyView  `json:"workers"`
 	SnapshotStore *snapshotStore `json:"snapshot_store,omitempty"`
@@ -253,6 +254,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:      "ok",
 		Role:        m.cfg.Role,
 		Kernel:      m.cfg.Kernel.String(),
+		Tracker:     m.cfg.Tracker.String(),
 		ShardBudget: sim.ShardBudget(m.cfg.Workers),
 		Workers:     occupancyView{Busy: busy, Total: m.cfg.Workers},
 	}

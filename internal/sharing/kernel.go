@@ -88,11 +88,26 @@ const metaWrite = 0x80
 // batchScratch is one worker's batch-kernel state, grabbed alongside
 // the gather buffer and reused across every shard the worker claims.
 // The columns span the worker's current shard; out spans one chunk.
+// Both tracker layouts consume the packed meta byte column — the SoA
+// advance loops expand it to the core/write word inline (cwWord).
 type batchScratch struct {
 	blk  []uint64
 	id   []uint32
 	meta []uint8
 	out  []uint32
+
+	// Eviction-capture columns for the SoA advance loops' deferred
+	// close (see flushClosed): at most one entry per access of a chunk,
+	// so each is batchSize long. eidx/efill hold non-negative int64
+	// values widened to uint64. Only allocated for SoA workers.
+	ecw   []uint64
+	ehits []uint64
+	eid   []uint32
+	eidx  []uint64
+	efill []uint64
+	eblk  []uint64
+	epc   []uint64
+	emeta []uint8
 }
 
 // decodeColumns is the decode phase: one pass over the gathered shard
@@ -112,16 +127,25 @@ func decodeColumns(accs []cache.AccessInfo, blk []uint64, id []uint32, meta []ui
 	}
 }
 
-// warmupSplit returns the first position of accs at or past the warmup
-// boundary, so chunk loops can hoist the per-access counting test of
-// the scalar kernel into a per-chunk constant. Stream order within a
-// shard means Index is ascending, which is what the binary search
-// needs.
-func warmupSplit(accs []cache.AccessInfo, warmup int) int {
+// warmupBoundaries returns, for every shard, the first in-shard
+// position at or past the warmup boundary, so chunk loops can hoist the
+// per-access counting test of the scalar kernel into a per-chunk
+// constant. The boundary is a property of the access stream alone —
+// not of any lane — and the partition already encodes it: Order holds
+// stream indices (Index == position was validated when the partition
+// was built) in ascending order within each shard. Computing all
+// boundaries once per replay replaces the per-shard binary search over
+// the gathered access records the shard walk used to run.
+func warmupBoundaries(part *PartitionIndex, warmup int) []int32 {
+	ws := make([]int32, part.Shards)
 	if warmup <= 0 {
-		return 0
+		return ws
 	}
-	return sort.Search(len(accs), func(i int) bool { return accs[i].Index >= int64(warmup) })
+	for s := range ws {
+		seg := part.Order[part.Offs[s]:part.Offs[s+1]]
+		ws[s] = int32(sort.Search(len(seg), func(i int) bool { return int64(seg[i]) >= int64(warmup) }))
+	}
+	return ws
 }
 
 // countBatch is the count phase: Result's access/hit/miss counters
@@ -189,10 +213,12 @@ func (st *replayState) advanceBatch(blk []uint64, meta []uint8, out []uint32, ac
 }
 
 // runLaneBatch walks one shardable lane over the gathered shard buffer
-// in chunks: probe → count → advance. The lane's active/lineID tables
-// persist across shards and workers exactly like the scalar path's
-// active table (disjoint index ranges per shard); the chunk loop also
-// cuts at the warmup boundary so counting stays per-chunk constant.
+// in chunks: probe, then the lane's bound advance variant (struct or
+// SoA, counters-only or full detail — see advanceFn). The lane's
+// active/lineID tables persist across shards and workers exactly like
+// the scalar path's active table (disjoint index ranges per shard); the
+// chunk loop also cuts at the warmup boundary so counting stays
+// per-chunk constant.
 func runLaneBatch(llc *cache.SetAssoc, l *lane, st *replayState, bs *batchScratch, accs []cache.AccessInfo, kWarm int, opt Options) error {
 	for lo := 0; lo < len(accs); {
 		hi := lo + batchSize
@@ -209,11 +235,7 @@ func runLaneBatch(llc *cache.SetAssoc, l *lane, st *replayState, bs *batchScratc
 		}
 		out := bs.out[:hi-lo]
 		llc.ReplayBatchCols(bs.blk[lo:hi], bs.id[lo:hi], accs[lo:hi], l.active, l.lineID, out)
-		counting := lo >= kWarm
-		if counting {
-			countBatch(st.res, out)
-		}
-		if err := st.advanceBatch(bs.blk[lo:hi], bs.meta[lo:hi], out, accs[lo:hi], counting); err != nil {
+		if err := l.advance(st, bs, out, accs[lo:hi], lo, lo >= kWarm); err != nil {
 			return err
 		}
 		lo = hi
@@ -221,26 +243,44 @@ func runLaneBatch(llc *cache.SetAssoc, l *lane, st *replayState, bs *batchScratc
 	return nil
 }
 
+// The outcome log's flag bits are the outcome word's hit/evict flags
+// shifted down by 24 (see cache.LogByte); these compile-time pins keep
+// the two encodings from drifting apart.
+const (
+	_ = uint8(cache.BatchHit>>24) - logHit
+	_ = logHit - uint8(cache.BatchHit>>24)
+	_ = uint8(cache.BatchEvict>>24) - logEvict
+	_ = logEvict - uint8(cache.BatchEvict>>24)
+)
+
 // decodeLog rebuilds a chunk's outcome words from a two-phase lane's
 // one-byte outcome log: the line index comes from the block column and
 // the logged way, and the hit/evict flags shift from the log's bits
-// 6–7 to the outcome word's bits 30–31.
-func decodeLog(log []uint8, order []int32, blk []uint64, setMask uint64, ways int, out []uint32) {
+// 6–7 to the outcome word's bits 30–31. log is the chunk's own slice of
+// the partition-ordered log (see runPolicyPassBatch), so the read is
+// sequential — the batched pass scattered each byte to its shard
+// segment at write time precisely so no consumer pays a gather here.
+func decodeLog(log []uint8, blk []uint64, setMask uint64, ways int, out []uint32) {
 	for k := range out {
-		b := log[order[k]]
+		b := log[k]
 		li := uint32(int(blk[k]&setMask)*ways) + uint32(b&logWayMask)
 		out[k] = li | uint32(b&(logHit|logEvict))<<24
 	}
 }
 
 // runPhaseLaneBatch is the tracker half of a two-phase lane over one
-// shard, batched: the decode phase reconstructs outcome words from the
-// policy pass's log, then count and advance run as in the shardable
-// walk. The block consistency check in advanceBatch replaces the
-// scalar stepLogged's log-vs-tracker cross-checks.
-func runPhaseLaneBatch(l *lane, st *replayState, bs *batchScratch, accs []cache.AccessInfo, order []int32, kWarm int, opt Options) error {
-	setMask := uint64(l.sets - 1)
-	ways := l.cfg.Ways
+// shard, batched: each log chunk runs through the lane's bound
+// advanceLog variant (the fused SoA loop, or the struct path's
+// decode + count + advance, kept as the bisection reference). The log
+// is partition-ordered (see runPolicyPassBatch), so the shard's bytes
+// sit contiguously at segBase and each chunk's slice is a sequential
+// read. When the lane carries a pipeline ring, the walk first waits
+// for the policy pass to have passed the chunk's last stream position
+// — order is ascending within a shard, so order[hi-1] is the chunk's
+// watermark, and by then the pass has scattered every log byte of the
+// chunk's segment range — which is what lets the tracker replay
+// overlap the pass instead of barriering behind it.
+func runPhaseLaneBatch(l *lane, st *replayState, bs *batchScratch, accs []cache.AccessInfo, order []int32, segBase, kWarm int, opt Options) error {
 	for lo := 0; lo < len(accs); {
 		hi := lo + batchSize
 		if hi > len(accs) {
@@ -254,13 +294,12 @@ func runPhaseLaneBatch(l *lane, st *replayState, bs *batchScratch, accs []cache.
 				return err
 			}
 		}
-		out := bs.out[:hi-lo]
-		decodeLog(l.log, order[lo:hi], bs.blk[lo:hi], setMask, ways, out)
-		counting := lo >= kWarm
-		if counting {
-			countBatch(st.res, out)
+		if l.ring != nil {
+			if err := l.ring.wait(int64(order[hi-1]) + 1); err != nil {
+				return err
+			}
 		}
-		if err := st.advanceBatch(bs.blk[lo:hi], bs.meta[lo:hi], out, accs[lo:hi], counting); err != nil {
+		if err := l.advanceLog(st, l, bs, accs[lo:hi], l.log[segBase+lo:segBase+hi], lo, lo >= kWarm); err != nil {
 			return err
 		}
 		lo = hi
@@ -275,30 +314,51 @@ func runPhaseLaneBatch(l *lane, st *replayState, bs *batchScratch, accs []cache.
 // call sequence is exactly the scalar pass's, so cross-set policy
 // state (dueling counters, RNG draws, global tables) evolves
 // identically.
-func runPolicyPassBatch(stream []cache.AccessInfo, l *lane, opt Options) error {
+//
+// The compress loop writes the log in partition order: each byte
+// scatters to its block's shard segment (shard membership is the same
+// Block & (Shards-1) mask the partition used, and the pass visits
+// accesses in stream order, so per-segment write cursors starting at
+// part.Offs reproduce exactly the partition's Order). The scatter is P
+// sequential write streams for the pass — cheap — and buys every
+// tracker shard a contiguous log read; a stream-ordered log would make
+// each of P shards stream the whole log to gather 1/P of its bytes.
+//
+// Unlike the scalar pass, the batched pass owns its block → line table
+// outright (a pooled grab) instead of borrowing the lane's phase-two
+// active array: under the pipeline ring the tracker shards replay
+// concurrently with this walk, and their closeAlive writes into the
+// lane's active would race a borrowed table. Each completed chunk's
+// stream position is published through the ring (when one is
+// attached), which is the producer half of the overlap.
+//
+// passBlk/passID are the whole-stream block/BlockID columns, decoded
+// once per replay (decodePassColumns) and shared read-only by every
+// pass: a sweep runs one pass per two-phase lane, and letting each
+// re-derive the columns from the 56-byte records would stream the whole
+// record array once per lane just to recover 12 bytes per access. When
+// nil (no lane's policy carries a batch kernel), the pass walks the
+// records directly through the interface-based ReplayBatch.
+func runPolicyPassBatch(stream []cache.AccessInfo, numBlocks int, part *PartitionIndex, passBlk []uint64, passID []uint32, l *lane, opt Options) error {
 	llc, err := cache.NewSetAssoc(l.cfg.Size, l.cfg.Ways, l.inst)
 	if err != nil {
 		return err
 	}
 	ways := l.cfg.Ways
 	setMask := uint64(l.sets - 1)
+	cur := make([]int32, part.Shards)
+	copy(cur, part.Offs[:part.Shards])
 	log := l.log
-	active := l.active
+	active := grab(&scratch.words, numBlocks, false)
 	lineID := grab(&scratch.cols, l.sets*ways, false)
 	out := grab(&scratch.cols, batchSize, false)
-	// When the policy carries a monomorphic kernel, the pass decodes
-	// block/BlockID columns chunk by chunk and probes through
-	// ReplayBatchCols, so the specialized loop (not the interface walk of
-	// ReplayBatch) runs the stream-order pass too — two-phase policies are
-	// the lanes a sweep spends most of its time in. The call sequence into
-	// cross-set policy state (RNG draws, dueling updates, SHCT training)
-	// is identical either way.
-	var blkCol []uint64
-	var idCol []uint32
-	if llc.HasBatchKernel() {
-		blkCol = grab(&scratch.blks, batchSize, false)
-		idCol = grab(&scratch.cols, batchSize, false)
-	}
+	// When the policy carries a monomorphic kernel, the pass probes the
+	// shared columns through ReplayBatchCols, so the specialized loop
+	// (not the interface walk of ReplayBatch) runs the stream-order pass
+	// too — two-phase policies are the lanes a sweep spends most of its
+	// time in. The call sequence into cross-set policy state (RNG draws,
+	// dueling updates, SHCT training) is identical either way.
+	useCols := passBlk != nil && llc.HasBatchKernel()
 	for lo := 0; lo < len(stream); lo += batchSize {
 		hi := lo + batchSize
 		if hi > len(stream) {
@@ -311,29 +371,47 @@ func runPolicyPassBatch(stream []cache.AccessInfo, l *lane, opt Options) error {
 		}
 		o := out[:hi-lo]
 		chunk := stream[lo:hi]
-		if blkCol != nil {
-			for k := range chunk {
-				blkCol[k] = chunk[k].Block
-				idCol[k] = chunk[k].BlockID
+		// The compress loop reads block numbers from the shared column
+		// when the kernel path runs, so the 56-byte records are not
+		// re-touched just to recover set and shard bits.
+		if useCols {
+			blkCol := passBlk[lo:hi][:len(o)]
+			llc.ReplayBatchCols(blkCol, passID[lo:hi], chunk, active, lineID, o)
+			for k := range o {
+				b := blkCol[k]
+				sh := int(b) & (len(cur) - 1)
+				p := cur[sh]
+				cur[sh] = p + 1
+				log[p] = cache.LogByte(o[k], uint32(b&setMask)*uint32(ways))
 			}
-			llc.ReplayBatchCols(blkCol[:len(chunk)], idCol[:len(chunk)], chunk, active, lineID, o)
 		} else {
 			llc.ReplayBatch(chunk, active, lineID, o)
+			for k := range o {
+				b := chunk[k].Block
+				sh := int(b) & (len(cur) - 1)
+				p := cur[sh]
+				cur[sh] = p + 1
+				log[p] = cache.LogByte(o[k], uint32(b&setMask)*uint32(ways))
+			}
 		}
-		for k := range o {
-			set := uint32(stream[lo+k].Block&setMask) * uint32(ways)
-			log[lo+k] = uint8(o[k]&cache.BatchLine-set) | uint8(o[k]>>24&uint32(logHit|logEvict))
+		if l.ring != nil {
+			l.ring.publish(int64(hi))
 		}
 	}
-	// The words pool's at-rest invariant is all-zero; active seeds the
-	// tracker phase from it. The cols pool carries no invariant, so
-	// lineID and out go back as they are.
+	// The words pool's at-rest invariant is all-zero. The cols pool
+	// carries no invariant, so lineID and out go back as they are.
 	clear(active)
+	put(&scratch.words, active)
 	put(&scratch.cols, lineID)
 	put(&scratch.cols, out)
-	if blkCol != nil {
-		put(&scratch.blks, blkCol)
-		put(&scratch.cols, idCol)
-	}
 	return nil
+}
+
+// decodePassColumns builds the whole-stream block/BlockID columns the
+// two-phase policy passes share (see runPolicyPassBatch).
+func decodePassColumns(stream []cache.AccessInfo, blk []uint64, id []uint32) {
+	for i := range stream {
+		blk[i] = stream[i].Block
+		id[i] = stream[i].BlockID
+	}
 }

@@ -41,6 +41,7 @@ package sharing
 // sequential lanes run the very walk the fallback runs.
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -146,10 +147,89 @@ type lane struct {
 	lineID []uint32
 
 	// log records the cache outcome of every stream access for a
-	// two-phase lane (see runPolicyPass); nil otherwise.
+	// two-phase lane; nil otherwise. The layout follows the kernel:
+	// stream order under the scalar pass (runPolicyPass, indexed through
+	// the partition's Order by stepLogged), partition order — shard s's
+	// bytes contiguous at Offs[s], stream order within the segment —
+	// under the batched pass (runPolicyPassBatch), so every tracker
+	// shard reads its slice sequentially instead of gathering 1/P of the
+	// bytes out of each cache line of a stream-ordered log.
 	log []uint8
 
+	// soa is the lane's SoA residency tracker, replacing lines when the
+	// replay selects it (see tracker.go); the advance variants bound
+	// below are the per-demand specializations picked once at lane
+	// setup. ring, for a two-phase lane under the batch kernel, is the
+	// chunked outcome-log pipeline between the policy pass and the
+	// tracker shards.
+	soa        *soaCols
+	advance    advanceFn
+	advanceLog advanceLogFn
+	ring       *logRing
+
 	result *Result
+}
+
+// errPolicyPassFailed is what a tracker shard waiting on a pipeline
+// ring returns when the lane's policy pass died: a sentinel, so the
+// replay can prefer the producer's own error over the consumers'
+// echoes of it.
+var errPolicyPassFailed = errors.New("sharing: policy pass failed; tracker replay aborted")
+
+// logRing is the chunked outcome-log pipeline of one two-phase lane:
+// the policy pass publishes the log watermark after each completed
+// chunk, and tracker shard workers wait for their chunk's range before
+// consuming it, so the two passes overlap instead of summing. The
+// atomic watermark is monotonic and published after the log bytes are
+// written (Go's atomics order the store), so a consumer that observes
+// published ≥ n may read log[:n] without the lock; the mutex/cond pair
+// only parks consumers that arrived early.
+type logRing struct {
+	published atomic.Int64
+	failed    atomic.Bool
+	mu        sync.Mutex
+	cond      sync.Cond
+}
+
+func newLogRing() *logRing {
+	r := &logRing{}
+	r.cond.L = &r.mu
+	return r
+}
+
+// publish makes log[:n] visible to waiting consumers.
+func (r *logRing) publish(n int64) {
+	r.published.Store(n)
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// fail wakes every waiter without moving the watermark; their pending
+// waits (and all future ones past the watermark) return
+// errPolicyPassFailed. Chunks at or below the watermark stay valid —
+// they were fully written before the pass died.
+func (r *logRing) fail() {
+	r.failed.Store(true)
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// wait blocks until log[:n] is published, or the producer fails.
+func (r *logRing) wait(n int64) error {
+	if r.published.Load() >= n {
+		return nil
+	}
+	r.mu.Lock()
+	for r.published.Load() < n && !r.failed.Load() {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+	if r.published.Load() < n {
+		return errPolicyPassFailed
+	}
+	return nil
 }
 
 // Outcome log encoding of the two-phase split: one byte per access.
@@ -346,6 +426,10 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 	}
 
 	var part *PartitionIndex
+	var warmSplits []int32
+	var passBlk []uint64
+	var passID []uint32
+	useSoA := false
 	if len(shardLanes)+len(phaseLanes) > 0 {
 		var err error
 		if opt.Partitioner != nil {
@@ -360,11 +444,34 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 		if err != nil {
 			return err
 		}
+		if useBatch {
+			// The warmup boundary is a property of the stream, not of
+			// any lane or shard walk: locate every shard's boundary
+			// once per replay, straight from the partition.
+			warmSplits = warmupBoundaries(part, opt.Warmup)
+		}
+		// Tracker selection: the SoA columns need the batch kernel, the
+		// SHARELLC_BATCH_TRACKER gate, and cores that fit the packed
+		// core/write word (Options.Cores hint, else a detection scan).
+		useSoA = useBatch && opt.Tracker == TrackerSoA && batchTrackerOn.Load()
+		if useSoA {
+			cores := opt.Cores
+			if cores == 0 {
+				cores = scanCores(stream)
+			}
+			if cores > soaMaxCores {
+				useSoA = false
+			}
+		}
 		// Tracker scratch comes from the pool (see scratch.go);
 		// fillShared — when recorded at all — is allocated fresh
 		// because it escapes into the merged Result.
 		for _, l := range append(append([]*lane(nil), shardLanes...), phaseLanes...) {
-			l.lines = grab(&scratch.lines, l.sets*l.cfg.Ways, false)
+			if useSoA {
+				l.soa = grabSoA(l.sets*l.cfg.Ways, opt.KeepResidencies, opt.FillShared)
+			} else {
+				l.lines = grab(&scratch.lines, l.sets*l.cfg.Ways, false)
+			}
 			l.active = grab(&scratch.words, numBlocks, false)
 			l.blockState = grab(&scratch.bytes, numBlocks, true)
 			l.parts = make([]*Result, shards)
@@ -373,19 +480,56 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 				mem.Hugepages(l.fillShared)
 			}
 		}
+		// Per-demand advance specialization, selected once at lane
+		// setup (the way cache.BatchPolicy binds at construction): a
+		// lane whose replay never reads per-residency detail gets the
+		// counters-only loops.
+		detail := opt.KeepResidencies || opt.FillShared
 		if useBatch {
 			for _, l := range shardLanes {
 				l.lineID = grab(&scratch.cols, l.sets*l.cfg.Ways, false)
+				switch {
+				case !useSoA:
+					l.advance = advanceStructOut
+				case detail:
+					l.advance = advanceSoAFull
+				default:
+					l.advance = advanceSoACounters
+				}
 			}
 		}
 		for _, l := range phaseLanes {
 			l.log = grab(&scratch.bytes, len(stream), false)
+			if useBatch {
+				l.ring = newLogRing()
+				switch {
+				case !useSoA:
+					l.advanceLog = advanceLogStruct
+				case detail:
+					l.advanceLog = advanceLogSoAFull
+				default:
+					l.advanceLog = advanceLogSoACounters
+				}
+			}
+		}
+		// The batched policy passes share one whole-stream block/BlockID
+		// column pair instead of each streaming the 56-byte records to
+		// re-derive it (see runPolicyPassBatch).
+		if useBatch && len(phaseLanes) > 0 {
+			passBlk = grab(&scratch.blks, len(stream), false)
+			passID = grab(&scratch.cols, len(stream), false)
+			decodePassColumns(stream, passBlk, passID)
 		}
 	}
 
 	// Stream-order tasks: the policy passes of the two-phase lanes come
-	// first — shard tasks consume their logs, so workers block on
-	// phase1 before claiming shards — then the sequential lanes.
+	// first, then the sequential lanes. Under the batch kernel each
+	// pass streams its log to the tracker shards through the lane's
+	// ring, so shard workers start as soon as every task is claimed and
+	// wait per chunk; under the scalar kernel the pass borrows the
+	// lane's active table (which the tracker phase seeds from), so
+	// workers block on the phase1 barrier before claiming shards, as
+	// before.
 	type seqTask struct {
 		l      *lane
 		phase1 bool
@@ -398,7 +542,9 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 		tasks = append(tasks, seqTask{l, false})
 	}
 	var phase1 sync.WaitGroup
-	phase1.Add(len(phaseLanes))
+	if !useBatch {
+		phase1.Add(len(phaseLanes))
+	}
 
 	if workers < 1 {
 		workers = 1
@@ -420,18 +566,24 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 				}
 				if tk := tasks[t]; tk.phase1 {
 					if useBatch {
-						errs[w] = runPolicyPassBatch(stream, tk.l, opt)
+						if errs[w] = runPolicyPassBatch(stream, numBlocks, part, passBlk, passID, tk.l, opt); errs[w] != nil {
+							// Wake the tracker shards parked on this
+							// lane's ring: nobody will rerun the pass,
+							// and the error makes the whole replay fail.
+							tk.l.ring.fail()
+							return
+						}
 					} else {
 						errs[w] = runPolicyPass(stream, tk.l, opt)
-					}
-					// Done even on error: a worker that claimed a
-					// phase1 task must release the barrier, or peers
-					// would wait forever on a task nobody will rerun.
-					// The error makes the whole replay fail, so shard
-					// walks reading the unfinished log are discarded.
-					phase1.Done()
-					if errs[w] != nil {
-						return
+						// Done even on error: a worker that claimed a
+						// phase1 task must release the barrier, or peers
+						// would wait forever on a task nobody will rerun.
+						// The error makes the whole replay fail, so shard
+						// walks reading the unfinished log are discarded.
+						phase1.Done()
+						if errs[w] != nil {
+							return
+						}
 					}
 				} else if errs[w] = runSeqLane(stream, numBlocks, tk.l, opt); errs[w] != nil {
 					return
@@ -440,7 +592,13 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 			if len(shardLanes)+len(phaseLanes) == 0 {
 				return
 			}
-			phase1.Wait()
+			// Under the batch kernel the shard walk pipelines against the
+			// policy passes through the rings (every pass task was claimed
+			// above before any worker reaches this point, so each ring's
+			// producer is guaranteed to run); the scalar kernel barriers.
+			if !useBatch {
+				phase1.Wait()
+			}
 			var runs []laneRun
 			var buf []cache.AccessInfo
 			var bs *batchScratch
@@ -452,6 +610,16 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 						put(&scratch.blks, bs.blk)
 						put(&scratch.cols, bs.id)
 						put(&scratch.bytes, bs.meta)
+						if bs.ecw != nil {
+							put(&scratch.blks, bs.ecw)
+							put(&scratch.blks, bs.ehits)
+							put(&scratch.cols, bs.eid)
+							put(&scratch.blks, bs.eidx)
+							put(&scratch.blks, bs.efill)
+							put(&scratch.blks, bs.eblk)
+							put(&scratch.blks, bs.epc)
+							put(&scratch.bytes, bs.emeta)
+						}
 						put(&scratch.cols, bs.out)
 					}
 					return
@@ -480,23 +648,53 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 							meta: grab(&scratch.bytes, max, false),
 							out:  grab(&scratch.cols, batchSize, false),
 						}
+						if useSoA {
+							bs.ecw = grab(&scratch.blks, batchSize, false)
+							bs.ehits = grab(&scratch.blks, batchSize, false)
+							bs.eid = grab(&scratch.cols, batchSize, false)
+							bs.eidx = grab(&scratch.blks, batchSize, false)
+							bs.efill = grab(&scratch.blks, batchSize, false)
+							bs.eblk = grab(&scratch.blks, batchSize, false)
+							bs.epc = grab(&scratch.blks, batchSize, false)
+							bs.emeta = grab(&scratch.bytes, batchSize, false)
+						}
 					}
 				}
-				if errs[w] = runShard(stream, shardLanes, phaseLanes, part, s, runs, buf, bs, opt); errs[w] != nil {
+				if errs[w] = runShard(stream, shardLanes, phaseLanes, part, s, runs, buf, bs, warmSplits, opt); errs[w] != nil {
 					return
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	// A tracker shard that died waiting on a ring reports the sentinel;
+	// the producer's own error is the useful one, so prefer any other.
+	var firstErr error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, errPolicyPassFailed) {
 			return err
 		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if passBlk != nil {
+		put(&scratch.blks, passBlk)
+		put(&scratch.cols, passID)
 	}
 	for _, l := range append(append([]*lane(nil), shardLanes...), phaseLanes...) {
 		l.result = mergeLane(l.inst.Name(), l.fillShared, l.parts, l.blockState, opt.KeepResidencies)
-		put(&scratch.lines, l.lines)
+		if l.soa != nil {
+			putSoA(l.soa)
+		} else {
+			put(&scratch.lines, l.lines)
+		}
 		put(&scratch.words, l.active)
 		put(&scratch.bytes, l.blockState)
 		if l.lineID != nil {
@@ -623,13 +821,14 @@ func runSeqLane(stream []cache.AccessInfo, numBlocks int, l *lane, opt Options) 
 // from the shards it processed before. Two-phase lanes have no cache or
 // policy here at all: their walk is the tracker half only, re-enacting
 // the outcome log their policy pass recorded (see stepLogged).
-func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *PartitionIndex, s int, runs []laneRun, buf []cache.AccessInfo, bs *batchScratch, opt Options) error {
+func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *PartitionIndex, s int, runs []laneRun, buf []cache.AccessInfo, bs *batchScratch, warmSplits []int32, opt Options) error {
 	for j, l := range lanes {
 		res := newResult(l.inst.Name(), 0)
 		res.FillShared = l.fillShared
 		runs[j].st = &replayState{
 			res:        res,
 			lines:      l.lines,
+			cols:       l.soa,
 			active:     l.active,
 			blockState: l.blockState,
 			warmup:     int64(opt.Warmup),
@@ -642,12 +841,16 @@ func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *Partit
 		accs[k] = stream[idx]
 	}
 	// Batch kernel: the decode phase runs once per shard (the columns
-	// serve every lane's walk) and the warmup boundary is located once,
-	// so the chunk loops carry neither test.
+	// serve every lane's walk) and the warmup boundary was located once
+	// per replay (warmupBoundaries), so the chunk loops carry neither
+	// test. Both tracker layouts consume the packed 1-byte meta column;
+	// the SoA advance loops expand it to the core/write word inline (a
+	// few ALU ops per access beats re-streaming a shard-length uint64
+	// column through the cache once per lane).
 	kWarm := 0
 	if bs != nil {
 		decodeColumns(accs, bs.blk, bs.id, bs.meta)
-		kWarm = warmupSplit(accs, opt.Warmup)
+		kWarm = int(warmSplits[s])
 	}
 	for j := range runs {
 		llc, ways, st := runs[j].llc, runs[j].ways, runs[j].st
@@ -678,6 +881,7 @@ func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *Partit
 		st := &replayState{
 			res:        res,
 			lines:      l.lines,
+			cols:       l.soa,
 			active:     l.active,
 			blockState: l.blockState,
 			warmup:     int64(opt.Warmup),
@@ -686,7 +890,7 @@ func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *Partit
 		setMask := uint64(l.sets - 1)
 		ways := l.cfg.Ways
 		if bs != nil {
-			if err := runPhaseLaneBatch(l, st, bs, accs, order, kWarm, opt); err != nil {
+			if err := runPhaseLaneBatch(l, st, bs, accs, order, int(part.Offs[s]), kWarm, opt); err != nil {
 				return err
 			}
 			st.closeAlive(l.sets, ways, part.Shards, s)

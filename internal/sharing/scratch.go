@@ -33,6 +33,12 @@ package sharing
 //     probe's lineID reverse map is written for every way of a set
 //     before any eviction in that set can read it — so unlike the
 //     active tables of the words pool, these go back dirty.
+//   - paired hit/core-write words (hcs [][2]uint64): all-zero at rest,
+//     like active. The SoA tracker treats cw == 0 as "no open
+//     residency" and every other column is gated by it, so
+//     closeAliveSoA retiring survivors to a zero pair is what lets the
+//     tracker's id/fill columns recycle dirty through the
+//     cols/blks/bytes pools.
 //
 // Only blockState needs an explicit clear on reuse (the census values
 // of the previous replay are meaningless for the next stream); that
@@ -68,6 +74,7 @@ var scratch struct {
 	words [][]uint32
 	cols  [][]uint32
 	blks  [][]uint64
+	hcs   [][][2]uint64
 	bytes [][]uint8
 	accs  [][]cache.AccessInfo
 }

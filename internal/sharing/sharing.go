@@ -175,6 +175,24 @@ type Options struct {
 	// the outcome encodings — are scalar by construction and ignore it.
 	Kernel Kernel
 
+	// Tracker selects the residency-tracker representation of the
+	// batched lane walks: the SoA column tracker (the zero value; see
+	// tracker.go) or the struct-slab tracker, kept as the bisection
+	// escape hatch. Results are bit-identical either way. It applies
+	// only where the batch kernel runs; scalar replays, sequential
+	// lanes and streams whose cores exceed the packed core/write word
+	// are struct-tracked regardless.
+	Tracker Tracker
+
+	// Cores, when positive, asserts that every access's Core is below
+	// Cores. It only steers tracker selection (the SoA tracker needs
+	// cores to fit its packed word), so a missing hint costs a
+	// detection scan per replay, and a wrong low value would corrupt
+	// sharing classification exactly like a wrong NumBlocks corrupts
+	// indexing — sim.Stream records the true count and passes it here.
+	// Zero means "unknown": the replay scans.
+	Cores int
+
 	// NumBlocks, when positive, asserts that the stream already carries
 	// dense BlockIDs in [0, NumBlocks) (cache.AssignBlockIDs), letting
 	// the replay skip the full-stream detection scan of
@@ -321,6 +339,10 @@ type replayState struct {
 	// blockState is the block census: blockUnseen, blockPrivate (seen,
 	// never shared) or blockShared (shared in ≥1 residency).
 	blockState []uint8
+	// cols, when non-nil, is the lane's SoA residency tracker and
+	// replaces lines entirely (see tracker.go); only batched lane walks
+	// set it.
+	cols *soaCols
 
 	warmup  int64
 	hooks   Hooks
@@ -588,6 +610,10 @@ func (st *replayState) run(llc *cache.SetAssoc, stream []cache.AccessInfo, order
 // claims an open residency and the active table is all zero, so both
 // arrays can seed the next replay without a clearing pass.
 func (st *replayState) closeAlive(sets, ways, shards, shard int) {
+	if st.cols != nil {
+		st.closeAliveSoA(sets, ways, shards, shard)
+		return
+	}
 	alive := make([]*Residency, 0, 64)
 	for set := shard; set < sets; set += shards {
 		base := set * ways

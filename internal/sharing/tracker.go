@@ -1,0 +1,641 @@
+package sharing
+
+// Struct-of-arrays residency tracker.
+//
+// The batch kernel (kernel.go) turned the replay into phase loops, but
+// its advance phase still walked an array of 64-byte Residency structs:
+// every hit — the majority outcome of every replay — loaded and stored
+// a full cache line of residency state to bump one counter and OR one
+// core bit. The SoA tracker splits the residency slab into columns so
+// each phase touches only the bytes it needs:
+//
+//   - hc [][2]uint64 — the paired hit counter (hc[li][0]) and packed
+//     core/write word (hc[li][1]): bit c marks core c (c ≤ 62), bit 63
+//     marks "a store touched this residency". One SWAR word replaces
+//     Residency's two-word core mask plus written bool, and pairing it
+//     with the hit counter keeps the whole hit path inside one 16-byte
+//     aligned pair — hc[li][0] += inc; hc[li][1] |= cwWord(meta[k]) —
+//     so the randomly-indexed advance touches one cache line per hit
+//     where separate hits/cw columns touched two. The word doubles as
+//     the liveness flag: cw == 0 ⟺ no open residency (a fill always
+//     sets the filler's core bit).
+//   - id []uint32 — dense BlockID, read only when a residency closes;
+//   - fill detail columns (fillIdx, block, fillPC, fillMeta), allocated
+//     per demand: a lane whose experiment never reads per-residency
+//     detail (no KeepResidencies, no FillShared) gets a counters-only
+//     tracker whose fill path writes three columns, and the advance
+//     loop for that demand level is selected once at lane setup
+//     (advanceFn / advanceLogFn on lane), the way cache.BatchPolicy
+//     binds a monomorphic kernel at cache construction.
+//
+// The packed word caps usable cores at 63 (indices 0..62): streams with
+// wider cores, the scalar kernel, sequential lanes and the
+// SHARELLC_BATCH_TRACKER=off escape hatch all fall back to the struct
+// tracker, and the differential tests in tracker_test.go hold both
+// representations to byte-equal Results.
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"sharellc/internal/cache"
+)
+
+// Tracker selects the residency-tracker representation of the batched
+// lane walks. The zero value is the SoA tracker, so existing callers get
+// the fast path; the struct tracker is the bisection escape hatch (the
+// -tracker flag on sharesim and sharesimd). It applies only where the
+// batch kernel runs — the scalar kernel, sequential lanes and
+// wide-core streams (cores past the packed word) are struct-tracked by
+// construction and ignore it. Results are bit-identical either way.
+type Tracker uint8
+
+const (
+	// TrackerSoA keeps residency state in per-field columns (see the
+	// package comment above).
+	TrackerSoA Tracker = iota
+	// TrackerStruct keeps residency state in []Residency slabs (the
+	// PR 6 layout), kept as the bisection reference.
+	TrackerStruct
+)
+
+// String returns the flag spelling of t.
+func (t Tracker) String() string {
+	switch t {
+	case TrackerSoA:
+		return "soa"
+	case TrackerStruct:
+		return "struct"
+	}
+	return fmt.Sprintf("Tracker(%d)", uint8(t))
+}
+
+// ParseTracker resolves a -tracker flag value, rejecting unknown values
+// with an error enumerating the valid ones.
+func ParseTracker(s string) (Tracker, error) {
+	switch s {
+	case "soa":
+		return TrackerSoA, nil
+	case "struct":
+		return TrackerStruct, nil
+	}
+	return 0, fmt.Errorf("sharing: unknown tracker %q (have soa, struct)", s)
+}
+
+// batchTrackerOn gates the SoA tracker globally, mirroring
+// cache.batchKernelsOn: default on; SHARELLC_BATCH_TRACKER=off (or
+// EnableBatchTracker(false)) forces every replay onto the struct
+// tracker without a rebuild, so a bad column specialization can be
+// bisected in production the same way a bad policy kernel can.
+var batchTrackerOn atomic.Bool
+
+func init() {
+	batchTrackerOn.Store(os.Getenv("SHARELLC_BATCH_TRACKER") != "off")
+}
+
+// EnableBatchTracker toggles the SoA tracker for replays started
+// afterwards, returning the previous setting.
+func EnableBatchTracker(on bool) (prev bool) {
+	return batchTrackerOn.Swap(on)
+}
+
+const (
+	// cwWritten is the store bit of the packed core/write word; bits
+	// 0..62 carry cores.
+	cwWritten = uint64(1) << 63
+	// soaMaxCores is the widest core count the packed word encodes.
+	soaMaxCores = 63
+	// fmPred flags a fill-time shared prediction in the fillMeta byte;
+	// the low seven bits carry the fill core.
+	fmPred = uint8(0x80)
+)
+
+// soaCols is one lane's SoA residency tracker: parallel columns indexed
+// by line (set*ways+way), shared across shard workers with the same
+// disjoint per-shard index ownership as the []Residency slab it
+// replaces. id and hc are always present; fillIdx only when the
+// replay records FillShared or keeps residencies; block/fillPC/fillMeta
+// only when it keeps residencies.
+type soaCols struct {
+	id []uint32
+	hc [][2]uint64
+
+	fillIdx  []uint64
+	block    []uint64
+	fillPC   []uint64
+	fillMeta []uint8
+}
+
+// grabSoA builds the column set for lines line slots from the scratch
+// pools. hc comes from its own pool kind whose at-rest invariant is
+// all-zero (cw == 0 means "no open residency", exactly what a fresh
+// replay needs, and closeAliveSoA retires the hit half along with it);
+// every other column is gated by cw and may come back dirty.
+func grabSoA(lines int, keep, fillShared bool) *soaCols {
+	t := &soaCols{
+		id: grab(&scratch.cols, lines, false),
+		hc: grab(&scratch.hcs, lines, false),
+	}
+	if keep || fillShared {
+		t.fillIdx = grab(&scratch.blks, lines, false)
+	}
+	if keep {
+		t.block = grab(&scratch.blks, lines, false)
+		t.fillPC = grab(&scratch.blks, lines, false)
+		t.fillMeta = grab(&scratch.bytes, lines, false)
+	}
+	return t
+}
+
+// putSoA returns the columns to their pools. Call only on a replay's
+// success path (closeAliveSoA has retired every open residency, so the
+// hc column is back to all-zero).
+func putSoA(t *soaCols) {
+	put(&scratch.cols, t.id)
+	put(&scratch.hcs, t.hc)
+	if t.fillIdx != nil {
+		put(&scratch.blks, t.fillIdx)
+	}
+	if t.block != nil {
+		put(&scratch.blks, t.block)
+		put(&scratch.blks, t.fillPC)
+		put(&scratch.bytes, t.fillMeta)
+	}
+}
+
+// scanCores returns 1 + the highest core number in stream — the
+// fallback core-count discovery when Options.Cores carries no hint.
+func scanCores(stream []cache.AccessInfo) int {
+	var max uint8
+	for i := range stream {
+		if c := stream[i].Core; c > max {
+			max = c
+		}
+	}
+	if len(stream) == 0 {
+		return 0
+	}
+	return int(max) + 1
+}
+
+// cwWord expands one packed meta byte (decodeColumns' core/store
+// encoding) into the tracker's core/write word: bit core set, bit 63
+// carrying the store flag. The expansion is a handful of ALU ops per
+// access, which beats materializing a pre-shifted uint64 column at
+// decode time: that column cost 8 bytes per access of decode write
+// plus a re-streamed read per lane — shard-length, so pushed out of
+// L2 between decode and consumption on big shards — where the meta
+// byte column is an eighth the traffic and shared with the struct
+// tracker's decode.
+func cwWord(m uint8) uint64 {
+	return uint64(1)<<(m&^metaWrite) | uint64(m&metaWrite)<<56
+}
+
+// closeLineSoA finalizes the residency open in line li at evictIndex
+// (-1 = alive at stream end) and folds it into the counters — the SoA
+// twin of closeRes. SoA lanes never carry hooks or fill-time
+// predictions (those pin a lane to the sequential struct walk), so the
+// hook and Pred branches of closeRes are absent by construction. The
+// advance loops don't call this per eviction — they capture and defer
+// (see flushClosed); only closeAliveSoA's end-of-replay retirement
+// still closes straight off the live columns.
+func (st *replayState) closeLineSoA(li uint32, evictIndex int64) {
+	t := st.cols
+	res := st.res
+	cw := t.hc[li][1]
+	deg := bits.OnesCount64(cw &^ cwWritten)
+	shared := deg >= 2
+	id := t.id[li]
+	if shared {
+		if res.FillShared != nil {
+			res.FillShared[t.fillIdx[li]] = true
+		}
+		st.blockState[id] = blockShared
+	} else if st.blockState[id] == blockUnseen {
+		st.blockState[id] = blockPrivate
+	}
+	if evictIndex >= 0 && evictIndex < st.warmup {
+		return
+	}
+	h := t.hc[li][0]
+	res.Residencies++
+	res.DegreeResidencies[deg]++
+	res.DegreeHits[deg] += h
+	if shared {
+		res.SharedResidencies++
+		res.SharedHits += h
+		if cw&cwWritten != 0 {
+			res.RWSharedResidencies++
+			res.RWSharedHits += h
+		} else {
+			res.ROSharedResidencies++
+			res.ROSharedHits += h
+		}
+	} else {
+		res.PrivateHits += h
+	}
+	if st.keep {
+		fm := t.fillMeta[li]
+		r := Residency{
+			Block:      t.block[li],
+			FillIndex:  int64(t.fillIdx[li]),
+			FillPC:     t.fillPC[li],
+			Hits:       h,
+			EvictIndex: evictIndex,
+			id:         id,
+			FillCore:   fm &^ fmPred,
+			written:    cw&cwWritten != 0,
+			Predicted:  fm&fmPred != 0,
+		}
+		// Exact because SoA lanes cap cores at 62: the packed word's
+		// core bits are precisely coreMask[0], and coreMask[1] is zero.
+		r.coreMask[0] = cw &^ cwWritten
+		res.ResidencyLog = append(res.ResidencyLog, r)
+	}
+}
+
+// flushClosed folds a chunk's captured evictions into the counters —
+// closeLineSoA over the batchScratch capture columns instead of the
+// live tracker state. The SoA advance loops do not close residencies
+// inline: the evict branch snapshots the dying line's columns into
+// bs.e* (everything closeLineSoA would read — the refill may overwrite
+// the line before the close is folded) and the chunk ends with one
+// tight pass here. Deferring is safe because a close touches nothing
+// the rest of the chunk reads: res counters are sums, the blockState
+// census is a monotonic unseen < private < shared lattice read only at
+// replay end, and FillShared marks are idempotent. What it buys is the
+// loop shape: the per-eviction blockState byte is a random load over a
+// multi-megabyte array, and issuing those from a call-free loop lets
+// the out-of-order window overlap several misses instead of
+// serializing each behind a function call in the advance loop — which
+// also loses its only call and keeps its column bases in registers.
+// Entry order is capture order, so ResidencyLog appends land exactly
+// where the inline closes would have put them.
+func (st *replayState) flushClosed(bs *batchScratch, n int) {
+	res := st.res
+	bstate := st.blockState
+	ecw := bs.ecw[:n]
+	ehits := bs.ehits[:n]
+	eid := bs.eid[:n]
+	eidx := bs.eidx[:n]
+	warm := uint64(st.warmup)
+	for k := range ecw {
+		cw := ecw[k]
+		deg := bits.OnesCount64(cw &^ cwWritten)
+		shared := deg >= 2
+		id := eid[k]
+		if shared {
+			if res.FillShared != nil {
+				res.FillShared[bs.efill[k]] = true
+			}
+			bstate[id] = blockShared
+		} else if bstate[id] == blockUnseen {
+			bstate[id] = blockPrivate
+		}
+		if eidx[k] < warm {
+			continue
+		}
+		h := ehits[k]
+		res.Residencies++
+		res.DegreeResidencies[deg]++
+		res.DegreeHits[deg] += h
+		if shared {
+			res.SharedResidencies++
+			res.SharedHits += h
+			if cw&cwWritten != 0 {
+				res.RWSharedResidencies++
+				res.RWSharedHits += h
+			} else {
+				res.ROSharedResidencies++
+				res.ROSharedHits += h
+			}
+		} else {
+			res.PrivateHits += h
+		}
+		if st.keep {
+			fm := bs.emeta[k]
+			r := Residency{
+				Block:      bs.eblk[k],
+				FillIndex:  int64(bs.efill[k]),
+				FillPC:     bs.epc[k],
+				Hits:       h,
+				EvictIndex: int64(eidx[k]),
+				id:         id,
+				FillCore:   fm &^ fmPred,
+				written:    cw&cwWritten != 0,
+				Predicted:  fm&fmPred != 0,
+			}
+			r.coreMask[0] = cw &^ cwWritten
+			res.ResidencyLog = append(res.ResidencyLog, r)
+		}
+	}
+}
+
+// closeAliveSoA is closeAlive for an SoA-tracked lane: survivors are the
+// lines with a nonzero core/write word. Retiring a survivor zeroes its
+// pair (restoring the hcs pool's all-zero at-rest invariant) and clears
+// its active entry, exactly as the struct closeAlive retires slots.
+func (st *replayState) closeAliveSoA(sets, ways, shards, shard int) {
+	t := st.cols
+	// Size for the worst case — every line of the shard's sets live —
+	// so the append loop never regrows (survivors are the common case:
+	// any working set larger than the LLC leaves every line holding an
+	// open residency at stream end).
+	alive := make([]uint32, 0, (sets-shard+shards-1)/shards*ways)
+	for set := shard; set < sets; set += shards {
+		base := uint32(set * ways)
+		for w := 0; w < ways; w++ {
+			if t.hc[base+uint32(w)][1] != 0 {
+				alive = append(alive, base+uint32(w))
+			}
+		}
+	}
+	if st.keep {
+		sort.Slice(alive, func(i, j int) bool { return t.fillIdx[alive[i]] < t.fillIdx[alive[j]] })
+	}
+	for _, li := range alive {
+		st.closeLineSoA(li, -1)
+		st.active[t.id[li]] = 0
+		t.hc[li] = [2]uint64{}
+	}
+}
+
+// advanceFn consumes one chunk's probe outcome words against the lane's
+// tracker (the advance phase of a shardable lane). out and accs span
+// the chunk; lo is the chunk's offset into the worker's shard columns
+// (bs). The variant — struct or SoA, counters-only or full detail — is
+// bound to lane.advance once per replay at lane setup.
+type advanceFn func(st *replayState, bs *batchScratch, out []uint32, accs []cache.AccessInfo, lo int, counting bool) error
+
+// advanceLogFn replays one chunk of a two-phase lane's outcome log
+// against the lane's tracker (the tracker half of the split walk).
+// accs and logc span the chunk — logc is the chunk's slice of the
+// partition-ordered log, so log reads are sequential; lo is the
+// chunk's offset into the shard columns.
+type advanceLogFn func(st *replayState, l *lane, bs *batchScratch, accs []cache.AccessInfo, logc []uint8, lo int, counting bool) error
+
+// advanceStructOut is the struct-tracker advanceFn: the branch-free
+// count reduction followed by the PR 6 struct advance, kept bit-for-bit
+// as the SHARELLC_BATCH_TRACKER=off bisection reference.
+func advanceStructOut(st *replayState, bs *batchScratch, out []uint32, accs []cache.AccessInfo, lo int, counting bool) error {
+	if counting {
+		countBatch(st.res, out)
+	}
+	hi := lo + len(out)
+	return st.advanceBatch(bs.blk[lo:hi], bs.meta[lo:hi], out, accs, counting)
+}
+
+// advanceLogStruct is the struct-tracker advanceLogFn: decode the log
+// chunk into outcome words, then count and advance as the shardable
+// walk does.
+func advanceLogStruct(st *replayState, l *lane, bs *batchScratch, accs []cache.AccessInfo, logc []uint8, lo int, counting bool) error {
+	hi := lo + len(accs)
+	out := bs.out[:len(accs)]
+	decodeLog(logc, bs.blk[lo:hi], uint64(l.sets-1), l.cfg.Ways, out)
+	if counting {
+		countBatch(st.res, out)
+	}
+	return st.advanceBatch(bs.blk[lo:hi], bs.meta[lo:hi], out, accs, counting)
+}
+
+// advanceSoACounters is the counters-only SoA advanceFn. The hit path
+// is branch-free column arithmetic — a counter bump and a bitset OR
+// inside one 16-byte hc pair, so one randomly-indexed cache line per
+// hit — and the fill path writes the two always-present columns.
+// Hit/miss counting is fused into the same loop (the hit branch
+// already distinguishes the outcomes), so the separate count phase
+// disappears; evictions capture the dying line into bs.e* and fold
+// after the loop (flushClosed), which keeps the loop free of calls.
+func advanceSoACounters(st *replayState, bs *batchScratch, out []uint32, accs []cache.AccessInfo, lo int, counting bool) error {
+	t := st.cols
+	hc, ids := t.hc, t.id
+	// Reslice the chunk columns to the outcome count so the bounds
+	// checks on the per-access loads fold away.
+	metac := bs.meta[lo:][:len(out)]
+	idc := bs.id[lo:][:len(out)]
+	inc := uint64(0)
+	if counting {
+		inc = 1
+	}
+	var h uint64
+	ne := 0
+	for k, o := range out {
+		li := o & cache.BatchLine
+		p := &hc[li]
+		w := cwWord(metac[k])
+		if o&cache.BatchHit != 0 {
+			p[0] += inc
+			p[1] |= w
+			h++
+			continue
+		}
+		if o&cache.BatchEvict != 0 {
+			if p[1] == 0 {
+				return fmt.Errorf("sharing: batch evicted line %d holds no open residency", li)
+			}
+			bs.ecw[ne] = p[1]
+			bs.ehits[ne] = p[0]
+			bs.eid[ne] = ids[li]
+			bs.eidx[ne] = uint64(accs[k].Index)
+			ne++
+		}
+		ids[li] = idc[k]
+		*p = [2]uint64{0, w}
+	}
+	st.flushClosed(bs, ne)
+	if counting {
+		n := uint64(len(out))
+		st.res.Accesses += n
+		st.res.Hits += h
+		st.res.Misses += n - h
+	}
+	return nil
+}
+
+// advanceSoAFull is advanceSoACounters plus the per-demand fill detail
+// columns (fill index for FillShared, plus block/PC/meta when
+// residencies are kept).
+func advanceSoAFull(st *replayState, bs *batchScratch, out []uint32, accs []cache.AccessInfo, lo int, counting bool) error {
+	t := st.cols
+	metac := bs.meta[lo:][:len(out)]
+	idc := bs.id[lo:][:len(out)]
+	blk := bs.blk[lo:][:len(out)]
+	inc := uint64(0)
+	if counting {
+		inc = 1
+	}
+	var h uint64
+	ne := 0
+	for k, o := range out {
+		li := o & cache.BatchLine
+		p := &t.hc[li]
+		w := cwWord(metac[k])
+		if o&cache.BatchHit != 0 {
+			p[0] += inc
+			p[1] |= w
+			h++
+			continue
+		}
+		a := &accs[k]
+		if o&cache.BatchEvict != 0 {
+			if p[1] == 0 {
+				return fmt.Errorf("sharing: batch evicted line %d holds no open residency", li)
+			}
+			bs.ecw[ne] = p[1]
+			bs.ehits[ne] = p[0]
+			bs.eid[ne] = t.id[li]
+			bs.eidx[ne] = uint64(a.Index)
+			bs.efill[ne] = t.fillIdx[li]
+			if t.block != nil {
+				bs.eblk[ne] = t.block[li]
+				bs.epc[ne] = t.fillPC[li]
+				bs.emeta[ne] = t.fillMeta[li]
+			}
+			ne++
+		}
+		t.id[li] = idc[k]
+		*p = [2]uint64{0, w}
+		t.fillIdx[li] = uint64(a.Index)
+		if t.block != nil {
+			t.block[li] = blk[k]
+			t.fillPC[li] = a.PC
+			fm := a.Core
+			if a.PredictedShared {
+				fm |= fmPred
+			}
+			t.fillMeta[li] = fm
+		}
+	}
+	st.flushClosed(bs, ne)
+	if counting {
+		n := uint64(len(out))
+		st.res.Accesses += n
+		st.res.Hits += h
+		st.res.Misses += n - h
+	}
+	return nil
+}
+
+// advanceLogSoACounters is the fused log-decode/count/advance loop of a
+// two-phase lane under the SoA tracker: one pass over the log chunk
+// computes each access's line index, counts the outcome and advances
+// the tracker, with no intermediate outcome-word materialization
+// (decodeLog and countBatch fold away) and no log gather (the chunk's
+// bytes are contiguous in the partition-ordered log).
+func advanceLogSoACounters(st *replayState, l *lane, bs *batchScratch, accs []cache.AccessInfo, logc []uint8, lo int, counting bool) error {
+	t := st.cols
+	setMask := uint64(l.sets - 1)
+	ways := l.cfg.Ways
+	logc = logc[:len(accs)]
+	blk := bs.blk[lo:][:len(accs)]
+	metac := bs.meta[lo:][:len(accs)]
+	idc := bs.id[lo:][:len(accs)]
+	inc := uint64(0)
+	if counting {
+		inc = 1
+	}
+	var h uint64
+	ne := 0
+	for k := range accs {
+		b := logc[k]
+		li := uint32(int(blk[k]&setMask)*ways) + uint32(b&logWayMask)
+		p := &t.hc[li]
+		w := cwWord(metac[k])
+		if b&logHit != 0 {
+			p[0] += inc
+			p[1] |= w
+			h++
+			continue
+		}
+		if b&logEvict != 0 {
+			if p[1] == 0 {
+				return fmt.Errorf("sharing: logged eviction of line %d holds no open residency", li)
+			}
+			bs.ecw[ne] = p[1]
+			bs.ehits[ne] = p[0]
+			bs.eid[ne] = t.id[li]
+			bs.eidx[ne] = uint64(accs[k].Index)
+			ne++
+		}
+		t.id[li] = idc[k]
+		*p = [2]uint64{0, w}
+	}
+	st.flushClosed(bs, ne)
+	if counting {
+		n := uint64(len(accs))
+		st.res.Accesses += n
+		st.res.Hits += h
+		st.res.Misses += n - h
+	}
+	return nil
+}
+
+// advanceLogSoAFull is advanceLogSoACounters plus the fill detail
+// columns.
+func advanceLogSoAFull(st *replayState, l *lane, bs *batchScratch, accs []cache.AccessInfo, logc []uint8, lo int, counting bool) error {
+	t := st.cols
+	setMask := uint64(l.sets - 1)
+	ways := l.cfg.Ways
+	logc = logc[:len(accs)]
+	blk := bs.blk[lo:][:len(accs)]
+	metac := bs.meta[lo:][:len(accs)]
+	idc := bs.id[lo:][:len(accs)]
+	inc := uint64(0)
+	if counting {
+		inc = 1
+	}
+	var h uint64
+	ne := 0
+	for k := range accs {
+		b := logc[k]
+		li := uint32(int(blk[k]&setMask)*ways) + uint32(b&logWayMask)
+		p := &t.hc[li]
+		w := cwWord(metac[k])
+		if b&logHit != 0 {
+			p[0] += inc
+			p[1] |= w
+			h++
+			continue
+		}
+		a := &accs[k]
+		if b&logEvict != 0 {
+			if p[1] == 0 {
+				return fmt.Errorf("sharing: logged eviction of line %d holds no open residency", li)
+			}
+			bs.ecw[ne] = p[1]
+			bs.ehits[ne] = p[0]
+			bs.eid[ne] = t.id[li]
+			bs.eidx[ne] = uint64(a.Index)
+			bs.efill[ne] = t.fillIdx[li]
+			if t.block != nil {
+				bs.eblk[ne] = t.block[li]
+				bs.epc[ne] = t.fillPC[li]
+				bs.emeta[ne] = t.fillMeta[li]
+			}
+			ne++
+		}
+		t.id[li] = idc[k]
+		*p = [2]uint64{0, w}
+		t.fillIdx[li] = uint64(a.Index)
+		if t.block != nil {
+			t.block[li] = blk[k]
+			t.fillPC[li] = a.PC
+			fm := a.Core
+			if a.PredictedShared {
+				fm |= fmPred
+			}
+			t.fillMeta[li] = fm
+		}
+	}
+	st.flushClosed(bs, ne)
+	if counting {
+		n := uint64(len(accs))
+		st.res.Accesses += n
+		st.res.Hits += h
+		st.res.Misses += n - h
+	}
+	return nil
+}

@@ -41,6 +41,12 @@ type Config struct {
 	// -kernel flag of sharesim and sharesimd). Results are identical at
 	// either setting; only wall-clock time changes.
 	Kernel sharing.Kernel
+	// Tracker selects the residency-tracker representation for every
+	// experiment of the suite (sharing.Options.Tracker): the SoA columns
+	// by default, or the []Residency struct slabs as the bisection escape
+	// hatch (the -tracker flag of sharesim and sharesimd). Results are
+	// identical at either setting; only wall-clock time changes.
+	Tracker sharing.Tracker
 	// Streams, when non-nil, supplies each prepared stream instead of a
 	// direct BuildStream call — the hook through which the streamcache
 	// package shares streams across suites and processes. The provider
@@ -85,6 +91,30 @@ type Stream struct {
 	// is built once per stream and shared (it is immutable once built).
 	partMu sync.Mutex
 	parts  map[int]*sharing.PartitionIndex
+
+	// coresOnce guards cores, the memoized core count of Accesses
+	// (1 + highest core number), scanned at most once per stream so
+	// every replay's SoA-tracker eligibility check skips the full-stream
+	// scan (sharing.Options.Cores).
+	coresOnce sync.Once
+	cores     int
+}
+
+// Cores returns 1 + the highest core number appearing in the stream,
+// scanning it once on first call. Safe for concurrent use.
+func (s *Stream) Cores() int {
+	s.coresOnce.Do(func() {
+		var max uint8
+		for i := range s.Accesses {
+			if c := s.Accesses[i].Core; c > max {
+				max = c
+			}
+		}
+		if len(s.Accesses) > 0 {
+			s.cores = int(max) + 1
+		}
+	})
+	return s.cores
 }
 
 // Partitioner returns the sharing.Partitioner serving this stream's
@@ -116,7 +146,7 @@ func (s *Stream) Partitioner() sharing.Partitioner {
 // this stream should build its sharing.Options here so no stream-level
 // memoization is forgotten at any call site.
 func (s *Stream) ReplayOptions(shards int, ctx context.Context) sharing.Options {
-	return sharing.Options{Shards: shards, Ctx: ctx, Partitioner: s.Partitioner(), NumBlocks: s.NumBlocks}
+	return sharing.Options{Shards: shards, Ctx: ctx, Partitioner: s.Partitioner(), NumBlocks: s.NumBlocks, Cores: s.Cores()}
 }
 
 // LLCAPKI returns LLC accesses per thousand raw references — a coarse
@@ -244,6 +274,15 @@ func (s *Suite) WithKernel(k sharing.Kernel) *Suite {
 	return &c
 }
 
+// WithTracker returns a shallow copy of the suite whose experiments use
+// the given residency-tracker representation, sharing the prepared
+// streams like WithKernel.
+func (s *Suite) WithTracker(t sharing.Tracker) *Suite {
+	c := *s
+	c.Config.Tracker = t
+	return &c
+}
+
 // context returns the suite's cancellation context, defaulting to
 // Background for suites built without one.
 func (s *Suite) context() context.Context {
@@ -289,6 +328,7 @@ func (s *Suite) Stream(name string) (*Stream, error) {
 func (s *Suite) replayOpts(st *Stream, shards int) sharing.Options {
 	o := st.ReplayOptions(shards, s.context())
 	o.Kernel = s.Config.Kernel
+	o.Tracker = s.Config.Tracker
 	return o
 }
 

@@ -6,7 +6,9 @@
 # hot path, full-size suite), F9 (the stream-side analyzers), the PR 4
 # ComparePoliciesSuite sweep (the fused multi-policy replay) and its
 # scalar twin (the batch-vs-scalar A/B), and the PR 6 BatchKernel
-# probe-phase micro, three counted runs each, plus the PR 3 stream-cache
+# probe-phase micro, five counted runs each (the steady-state statistic
+# is a minimum, and on shared vCPU runners two post-cold samples were
+# too few for it to settle), plus the PR 3 stream-cache
 # pair (suite construction cold vs. warm). The first iteration of each
 # also pays the one-time suite build (sync.Once); it is recorded
 # separately as the "cold" sample so the steady-state statistics are not
@@ -17,9 +19,16 @@
 # generic interface loop over the same stream (internal/policy's
 # BenchmarkBatchKernel sub-benchmarks), plus the per-policy speedup.
 #
+# The PR 9 tracker section records the residency-tracker micros
+# (internal/sharing's BenchmarkAdvanceBatch and BenchmarkTwoPhaseLane
+# sub-benchmarks, ns/access): the struct layout vs both SoA demand
+# levels for the advance phase, and the pipelined SoA / pipelined
+# struct / serial scalar shapes of a two-phase lane, plus the headline
+# speedups of each pair.
+#
 #   scripts/bench.sh [output.json] [baseline.json]
-#     default output:   BENCH_PR8.json
-#     default baseline: BENCH_PR6.json (skipped when absent)
+#     default output:   BENCH_PR9.json
+#     default baseline: BENCH_PR8.json (skipped when absent)
 #
 # The PR 7 cluster section records the wall time of the fixed-catalogue
 # sweep through an in-process coordinator with 1, 2 and 4 workers
@@ -39,28 +48,59 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR8.json}"
-BASELINE="${2:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR9.json}"
+BASELINE="${2:-BENCH_PR8.json}"
 BENCHES='^(BenchmarkF1SharedHitFraction4MB|BenchmarkF2SharedHitFraction8MB|BenchmarkF9SharingPhases|BenchmarkComparePoliciesSuite|BenchmarkComparePoliciesSuiteScalar)$'
 SUITE_BENCHES='^(BenchmarkSuiteBuildCold|BenchmarkSuiteBuildWarm)$'
 export SHARELLC_BENCH_SCALE="${SHARELLC_BENCH_SCALE:-1}"
 RAW="$(mktemp)"
 SUITE_RAW="$(mktemp)"
 POLICY_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$SUITE_RAW" "$POLICY_RAW"' EXIT
+TRACKER_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$SUITE_RAW" "$POLICY_RAW" "$TRACKER_RAW"' EXIT
 
-go test -bench "$BENCHES" -benchmem -count=3 -run '^$' -timeout 60m . | tee "$RAW" >&2
+go test -bench "$BENCHES" -benchmem -count=5 -run '^$' -timeout 60m . | tee "$RAW" >&2
 
 # The probe-phase micro (sweep-independent baseline for SIMD work on the
 # batch kernel) appends to the same raw log; the parser below is keyed by
 # benchmark name, so the samples land in the same JSON array.
-go test -bench '^BenchmarkBatchKernel$' -benchmem -count=3 -run '^$' -timeout 10m \
+go test -bench '^BenchmarkBatchKernel$' -benchmem -count=5 -run '^$' -timeout 10m \
   ./internal/cache | tee -a "$RAW" >&2
 
 # Per-policy monomorphic kernel vs generic interface loop (the PR 8
 # specialization A/B), parsed into the batch_kernel JSON section below.
-go test -bench '^BenchmarkBatchKernel$' -count=3 -run '^$' -timeout 30m \
+go test -bench '^BenchmarkBatchKernel$' -count=5 -run '^$' -timeout 30m \
   ./internal/policy | tee "$POLICY_RAW" >&2
+
+# Residency-tracker micros (the PR 9 SoA layout and two-phase pipeline
+# A/Bs), parsed into the tracker JSON section below.
+go test -bench '^(BenchmarkAdvanceBatch|BenchmarkTwoPhaseLane)$' -count=5 -run '^$' -timeout 30m \
+  ./internal/sharing | tee "$TRACKER_RAW" >&2
+
+TRACKER_JSON="$(awk '
+  /^Benchmark(AdvanceBatch|TwoPhaseLane)\// {
+    name = $1
+    sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+    v = ""
+    for (i = 2; i <= NF; i++) if ($i == "ns/access") v = $(i - 1) + 0
+    if (v == "") next
+    if (!(name in best) || v < best[name]) best[name] = v
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+  }
+  function ratio(a, b) {
+    if (a in best && b in best && best[b] > 0) return sprintf("%.2f", best[a] / best[b])
+    return "null"
+  }
+  END {
+    printf "{"
+    for (i = 1; i <= n; i++) {
+      printf "\"%s\": %g, ", order[i], best[order[i]]
+    }
+    printf "\"advance_soa_speedup\": %s, ", ratio("AdvanceBatch/struct", "AdvanceBatch/soa-counters")
+    printf "\"twophase_pipeline_speedup\": %s, ", ratio("TwoPhaseLane/scalar", "TwoPhaseLane/struct")
+    printf "\"twophase_soa_speedup\": %s", ratio("TwoPhaseLane/scalar", "TwoPhaseLane/soa")
+    printf "}"
+  }' "$TRACKER_RAW")"
 
 KERNEL_JSON="$(awk '
   /^BenchmarkBatchKernel\// {
@@ -110,7 +150,7 @@ done
 CLUSTER_JSON+="}"
 rm -f "$DUMPBIN"
 
-awk -v scale="$SHARELLC_BENCH_SCALE" -v cluster="$CLUSTER_JSON" -v batchkernel="$KERNEL_JSON" '
+awk -v scale="$SHARELLC_BENCH_SCALE" -v cluster="$CLUSTER_JSON" -v batchkernel="$KERNEL_JSON" -v tracker="$TRACKER_JSON" '
   function flush_bench(    i) {
     if (!first) printf ",\n"
     first = 0
@@ -161,6 +201,7 @@ awk -v scale="$SHARELLC_BENCH_SCALE" -v cluster="$CLUSTER_JSON" -v batchkernel="
       printf "\"warm_speedup\": null},\n"
     printf "  \"cluster\": %s,\n", (cluster == "" ? "null" : cluster)
     printf "  \"batch_kernel\": %s,\n", (batchkernel == "" ? "null" : batchkernel)
+    printf "  \"tracker\": %s,\n", (tracker == "" ? "null" : tracker)
     # Suite-level batch-vs-scalar A/B from the steady-state minima.
     bs = steady["BenchmarkComparePoliciesSuite"]
     ss = steady["BenchmarkComparePoliciesSuiteScalar"]

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# trackergate.sh — benchstat-style regression gate for the residency
+# tracker micros (BenchmarkAdvanceBatch, BenchmarkTwoPhaseLane), runnable
+# in CI without external tooling: the comparison is plain awk over `go
+# test -bench` output, taking the minimum ns/access across -count runs as
+# the steady-state statistic (the same reduction scripts/bench.sh uses).
+#
+#   scripts/trackergate.sh            compare against scripts/tracker_baseline.txt
+#   scripts/trackergate.sh -update    rewrite the baseline from this machine
+#
+# The micros run at -short scale so the gate stays in CI budget. A
+# sub-benchmark more than 20% slower than its baseline prints a GitHub
+# ::warning annotation (warn, not fail: CI runner classes vary, so the
+# gate flags drift for a human rather than blocking merges on machine
+# noise). Exit status reflects only whether the benchmarks ran.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="scripts/tracker_baseline.txt"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -bench '^(BenchmarkAdvanceBatch|BenchmarkTwoPhaseLane)$' -short -count=5 \
+  -run '^$' -timeout 20m ./internal/sharing | tee "$RAW" >&2
+
+# best-per-name ns/access, one "name value" line per sub-benchmark.
+summarize() {
+  awk '
+    /^Benchmark(AdvanceBatch|TwoPhaseLane)\// {
+      name = $1
+      sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+      v = ""
+      for (i = 2; i <= NF; i++) if ($i == "ns/access") v = $(i - 1) + 0
+      if (v == "") next
+      if (!(name in best) || v < best[name]) best[name] = v
+      if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+    }
+    END { for (i = 1; i <= n; i++) printf "%s %g\n", order[i], best[order[i]] }
+  ' "$1"
+}
+
+if [[ "${1:-}" == "-update" ]]; then
+  {
+    echo "# Steady-state ns/access of the tracker micros at -short scale,"
+    echo "# minimum over 5 runs. Regenerate with scripts/trackergate.sh -update."
+    summarize "$RAW"
+  } > "$BASELINE"
+  echo "wrote $BASELINE" >&2
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "::warning::tracker bench baseline $BASELINE missing; run scripts/trackergate.sh -update"
+  exit 0
+fi
+
+summarize "$RAW" | while read -r name new; do
+  base="$(awk -v n="$name" '$1 == n { print $2 }' "$BASELINE")"
+  if [[ -z "$base" ]]; then
+    echo "::warning::tracker bench $name has no baseline entry in $BASELINE"
+    continue
+  fi
+  awk -v name="$name" -v new="$new" -v base="$base" '
+    BEGIN {
+      pct = (new - base) / base * 100
+      printf "%-28s %8.2f ns/access vs baseline %8.2f (%+.1f%%)\n", name, new, base, pct > "/dev/stderr"
+      if (new > base * 1.2)
+        printf "::warning::tracker bench %s regressed %.1f%% vs baseline (%.2f -> %.2f ns/access)\n", name, pct, base, new
+    }'
+done

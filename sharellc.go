@@ -96,6 +96,10 @@ type (
 	// Kernel selects the replay inner-loop implementation
 	// (Config.Kernel, Suite.WithKernel).
 	Kernel = sharing.Kernel
+
+	// Tracker selects the residency-tracker representation
+	// (Config.Tracker, Suite.WithTracker).
+	Tracker = sharing.Tracker
 )
 
 // Replay kernels. The zero value is the batched kernel; scalar is the
@@ -104,6 +108,14 @@ type (
 const (
 	KernelBatch  = sharing.KernelBatch
 	KernelScalar = sharing.KernelScalar
+)
+
+// Residency trackers. The zero value is the SoA-column tracker; struct
+// is the escape hatch for bisecting tracker regressions (the -tracker
+// flag on sharesim and sharesimd).
+const (
+	TrackerSoA    = sharing.TrackerSoA
+	TrackerStruct = sharing.TrackerStruct
 )
 
 // Protection strengths.
