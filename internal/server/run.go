@@ -20,7 +20,7 @@ import (
 // it serves every suite's streams, so concurrent and sequential jobs
 // sharing (machine, seed, scale, workloads) build each stream at most
 // once per process regardless of their LLC size or policy.
-func defaultRunner(workers int, sc *streamcache.Cache, kernel sharing.Kernel, tracker sharing.Tracker) Runner {
+func defaultRunner(workers int, sc *streamcache.Cache, kernel sharing.Kernel, tracker sharing.Tracker, simd sharing.SIMD) Runner {
 	shards := sim.ShardBudget(workers)
 	return func(ctx context.Context, req Request, progress func(done, total int, label string)) ([]*report.Table, error) {
 		exp, err := sim.ExperimentByID(req.Exp)
@@ -51,6 +51,7 @@ func defaultRunner(workers int, sc *streamcache.Cache, kernel sharing.Kernel, tr
 				Shards:  shards,
 				Kernel:  kernel,
 				Tracker: tracker,
+				SIMD:    simd,
 				// Suite preparation reports through the same progress
 				// channel as the experiment fan-out; the "prepare" prefix
 				// distinguishes the phase in the SSE stream.

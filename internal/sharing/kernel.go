@@ -89,7 +89,8 @@ const metaWrite = 0x80
 // the gather buffer and reused across every shard the worker claims.
 // The columns span the worker's current shard; out spans one chunk.
 // Both tracker layouts consume the packed meta byte column — the SoA
-// advance loops expand it to the core/write word inline (cwWord).
+// advance loops expand it to the core/write word inline (cwWord), or
+// through the SIMD tier's chunk-sized cw column below.
 type batchScratch struct {
 	blk  []uint64
 	id   []uint32
@@ -108,6 +109,20 @@ type batchScratch struct {
 	eblk  []uint64
 	epc   []uint64
 	emeta []uint8
+
+	// SIMD-tier state (nil ops ⟺ tier off, the PR 9 scalar paths).
+	// cw is the chunk's expanded core/write words (simd.ExpandCW —
+	// chunk-sized and L1-resident, unlike the shard-length column PR 9
+	// measured and rejected); edeg/eord serve the batched close drain
+	// (flushClosedBatched): per-entry degrees and the bucket-ordered
+	// drain permutation. closeShift positions eid's top bits into
+	// closeBuckets partitions (closeShiftFor). Allocated only for SoA
+	// workers under an active SIMD tier.
+	ops        *simdOps
+	cw         []uint64
+	edeg       []uint8
+	eord       []uint16
+	closeShift uint8
 }
 
 // decodeColumns is the decode phase: one pass over the gathered shard
@@ -218,8 +233,11 @@ func (st *replayState) advanceBatch(blk []uint64, meta []uint8, out []uint32, ac
 // active/lineID tables persist across shards and workers exactly like
 // the scalar path's active table (disjoint index ranges per shard); the
 // chunk loop also cuts at the warmup boundary so counting stays
-// per-chunk constant.
-func runLaneBatch(llc *cache.SetAssoc, l *lane, st *replayState, bs *batchScratch, accs []cache.AccessInfo, kWarm int, opt Options) error {
+// per-chunk constant. Under the decode pipeline (pipe non-nil) each
+// chunk first waits for its columns — one atomic load once the
+// producer has passed it — and publishes consumption behind itself to
+// release producer lookahead.
+func runLaneBatch(llc *cache.SetAssoc, l *lane, st *replayState, bs *batchScratch, accs []cache.AccessInfo, kWarm int, pipe *colPipe, opt Options) error {
 	for lo := 0; lo < len(accs); {
 		hi := lo + batchSize
 		if hi > len(accs) {
@@ -233,10 +251,16 @@ func runLaneBatch(llc *cache.SetAssoc, l *lane, st *replayState, bs *batchScratc
 				return err
 			}
 		}
+		if pipe != nil {
+			pipe.waitDecoded(int64(hi))
+		}
 		out := bs.out[:hi-lo]
 		llc.ReplayBatchCols(bs.blk[lo:hi], bs.id[lo:hi], accs[lo:hi], l.active, l.lineID, out)
 		if err := l.advance(st, bs, out, accs[lo:hi], lo, lo >= kWarm); err != nil {
 			return err
+		}
+		if pipe != nil {
+			pipe.consume(int64(hi))
 		}
 		lo = hi
 	}
@@ -280,7 +304,7 @@ func decodeLog(log []uint8, blk []uint64, setMask uint64, ways int, out []uint32
 // watermark, and by then the pass has scattered every log byte of the
 // chunk's segment range — which is what lets the tracker replay
 // overlap the pass instead of barriering behind it.
-func runPhaseLaneBatch(l *lane, st *replayState, bs *batchScratch, accs []cache.AccessInfo, order []int32, segBase, kWarm int, opt Options) error {
+func runPhaseLaneBatch(l *lane, st *replayState, bs *batchScratch, accs []cache.AccessInfo, order []int32, segBase, kWarm int, pipe *colPipe, opt Options) error {
 	for lo := 0; lo < len(accs); {
 		hi := lo + batchSize
 		if hi > len(accs) {
@@ -294,6 +318,9 @@ func runPhaseLaneBatch(l *lane, st *replayState, bs *batchScratch, accs []cache.
 				return err
 			}
 		}
+		if pipe != nil {
+			pipe.waitDecoded(int64(hi))
+		}
 		if l.ring != nil {
 			if err := l.ring.wait(int64(order[hi-1]) + 1); err != nil {
 				return err
@@ -301,6 +328,9 @@ func runPhaseLaneBatch(l *lane, st *replayState, bs *batchScratch, accs []cache.
 		}
 		if err := l.advanceLog(st, l, bs, accs[lo:hi], l.log[segBase+lo:segBase+hi], lo, lo >= kWarm); err != nil {
 			return err
+		}
+		if pipe != nil {
+			pipe.consume(int64(hi))
 		}
 		lo = hi
 	}

@@ -429,6 +429,7 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 	var warmSplits []int32
 	var passBlk []uint64
 	var passID []uint32
+	var ops *simdOps
 	useSoA := false
 	if len(shardLanes)+len(phaseLanes) > 0 {
 		var err error
@@ -463,6 +464,13 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 				useSoA = false
 			}
 		}
+		// SIMD tier resolution: one kernel binding (assembly, SWAR or
+		// nil = off) for the whole replay, combining Options.SIMD, the
+		// SHARELLC_SIMD cap and hardware detection — see simd.go. Like
+		// the tracker knob it only applies where the batch kernel runs.
+		if useBatch {
+			ops = resolveSIMD(opt.SIMD)
+		}
 		// Tracker scratch comes from the pool (see scratch.go);
 		// fillShared — when recorded at all — is allocated fresh
 		// because it escapes into the merged Result.
@@ -489,12 +497,18 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 			for _, l := range shardLanes {
 				l.lineID = grab(&scratch.cols, l.sets*l.cfg.Ways, false)
 				switch {
-				case !useSoA:
+				case !useSoA && ops == nil:
 					l.advance = advanceStructOut
-				case detail:
+				case !useSoA:
+					l.advance = advanceStructOutSIMD
+				case detail && ops == nil:
 					l.advance = advanceSoAFull
-				default:
+				case detail:
+					l.advance = advanceSoAFullSIMD
+				case ops == nil:
 					l.advance = advanceSoACounters
+				default:
+					l.advance = advanceSoACountersSIMD
 				}
 			}
 		}
@@ -503,12 +517,18 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 			if useBatch {
 				l.ring = newLogRing()
 				switch {
-				case !useSoA:
+				case !useSoA && ops == nil:
 					l.advanceLog = advanceLogStruct
-				case detail:
+				case !useSoA:
+					l.advanceLog = advanceLogStructSIMD
+				case detail && ops == nil:
 					l.advanceLog = advanceLogSoAFull
-				default:
+				case detail:
+					l.advanceLog = advanceLogSoAFullSIMD
+				case ops == nil:
 					l.advanceLog = advanceLogSoACounters
+				default:
+					l.advanceLog = advanceLogSoACountersSIMD
 				}
 			}
 		}
@@ -620,6 +640,11 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 							put(&scratch.blks, bs.epc)
 							put(&scratch.bytes, bs.emeta)
 						}
+						if bs.cw != nil {
+							put(&scratch.blks, bs.cw)
+							put(&scratch.bytes, bs.edeg)
+							put(&scratch.halfs, bs.eord)
+						}
 						put(&scratch.cols, bs.out)
 					}
 					return
@@ -657,6 +682,13 @@ func replayLanes(stream []cache.AccessInfo, lanes []*lane, workers int, opt Opti
 							bs.eblk = grab(&scratch.blks, batchSize, false)
 							bs.epc = grab(&scratch.blks, batchSize, false)
 							bs.emeta = grab(&scratch.bytes, batchSize, false)
+						}
+						bs.ops = ops
+						if useSoA && ops != nil {
+							bs.cw = grab(&scratch.blks, batchSize, false)
+							bs.edeg = grab(&scratch.bytes, batchSize, false)
+							bs.eord = grab(&scratch.halfs, batchSize, false)
+							bs.closeShift = closeShiftFor(numBlocks)
 						}
 					}
 				}
@@ -837,39 +869,67 @@ func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *Partit
 	}
 	order := part.Order[part.Offs[s]:part.Offs[s+1]]
 	accs := buf[:len(order)]
-	for k, idx := range order {
-		accs[k] = stream[idx]
-	}
 	// Batch kernel: the decode phase runs once per shard (the columns
 	// serve every lane's walk) and the warmup boundary was located once
 	// per replay (warmupBoundaries), so the chunk loops carry neither
 	// test. Both tracker layouts consume the packed 1-byte meta column;
-	// the SoA advance loops expand it to the core/write word inline (a
+	// the SoA advance loops expand it to the core/write word via the
+	// SIMD tier's chunk prepass (or inline under SIMDOff — either way a
 	// few ALU ops per access beats re-streaming a shard-length uint64
-	// column through the cache once per lane).
+	// column through the cache once per lane). Under the SIMD tier the
+	// gather+decode runs as a pipelined producer goroutine, one chunk
+	// ahead of the first lane's probe loop (see colPipe); the producer
+	// must be aborted and joined before the shard's columns are reused
+	// or released, including on error returns.
 	kWarm := 0
+	var pipe *colPipe
 	if bs != nil {
-		decodeColumns(accs, bs.blk, bs.id, bs.meta)
 		kWarm = int(warmSplits[s])
+		if bs.ops != nil && len(order) > 0 {
+			pipe = newColPipe()
+			go decodePipelined(stream, order, accs, bs, pipe)
+			defer func() {
+				pipe.abort()
+				pipe.join()
+			}()
+		} else {
+			for k, idx := range order {
+				accs[k] = stream[idx]
+			}
+			decodeColumns(accs, bs.blk, bs.id, bs.meta)
+		}
+	} else {
+		for k, idx := range order {
+			accs[k] = stream[idx]
+		}
 	}
 	for j := range runs {
 		llc, ways, st := runs[j].llc, runs[j].ways, runs[j].st
 		if bs != nil {
-			if err := runLaneBatch(llc, lanes[j], st, bs, accs, kWarm, opt); err != nil {
+			if err := runLaneBatch(llc, lanes[j], st, bs, accs, kWarm, pipe, opt); err != nil {
 				return err
 			}
 			continue
 		}
+		var acc, hits uint64
 		for i := range accs {
 			if opt.Ctx != nil && i&(cancelStride-1) == 0 {
 				if err := opt.Ctx.Err(); err != nil {
 					return err
 				}
 			}
-			if err := st.step(llc, ways, &accs[i]); err != nil {
+			hit, err := st.step(llc, ways, &accs[i])
+			if err != nil {
 				return err
 			}
+			if accs[i].Index >= st.warmup {
+				acc++
+				if hit {
+					hits++
+				}
+			}
 		}
+		st.flushCounts(acc, hits)
 	}
 	for j, l := range lanes {
 		runs[j].st.closeAlive(l.sets, l.cfg.Ways, part.Shards, s)
@@ -890,23 +950,32 @@ func runShard(stream []cache.AccessInfo, lanes, phaseLanes []*lane, part *Partit
 		setMask := uint64(l.sets - 1)
 		ways := l.cfg.Ways
 		if bs != nil {
-			if err := runPhaseLaneBatch(l, st, bs, accs, order, int(part.Offs[s]), kWarm, opt); err != nil {
+			if err := runPhaseLaneBatch(l, st, bs, accs, order, int(part.Offs[s]), kWarm, pipe, opt); err != nil {
 				return err
 			}
 			st.closeAlive(l.sets, ways, part.Shards, s)
 			l.parts[s] = res
 			continue
 		}
+		var acc, hits uint64
 		for i := range accs {
 			if opt.Ctx != nil && i&(cancelStride-1) == 0 {
 				if err := opt.Ctx.Err(); err != nil {
 					return err
 				}
 			}
-			if err := st.stepLogged(l.log[order[i]], setMask, ways, &accs[i]); err != nil {
+			hit, err := st.stepLogged(l.log[order[i]], setMask, ways, &accs[i])
+			if err != nil {
 				return err
 			}
+			if accs[i].Index >= st.warmup {
+				acc++
+				if hit {
+					hits++
+				}
+			}
 		}
+		st.flushCounts(acc, hits)
 		st.closeAlive(l.sets, ways, part.Shards, s)
 		l.parts[s] = res
 	}

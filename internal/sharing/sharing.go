@@ -184,6 +184,16 @@ type Options struct {
 	// are struct-tracked regardless.
 	Tracker Tracker
 
+	// SIMD selects the data-parallel tier of the batched lane walks:
+	// auto (the zero value; assembly kernels when the CPU has them,
+	// portable SWAR otherwise), swar (force the cross-architecture
+	// reference kernels), or off — the scalar PR 9 paths, kept as the
+	// bisection escape hatch. Results are bit-identical across all
+	// three. The SHARELLC_SIMD environment variable caps every replay's
+	// tier without a rebuild (see EnableSIMD). Like Tracker, it applies
+	// only where the batch kernel runs.
+	SIMD SIMD
+
 	// Cores, when positive, asserts that every access's Core is below
 	// Cores. It only steers tracker selection (the SoA tracker needs
 	// cores to fit its packed word), so a missing hint costs a
@@ -420,14 +430,19 @@ func (st *replayState) closeRes(r *Residency, evictIndex int64) {
 // local copy before that copy reaches the cache. It is the shared
 // per-access body of the sequential replay, the shard workers and the
 // fused multi-lane replay (ReplayMulti).
-func (st *replayState) step(llc *cache.SetAssoc, ways int, a *cache.AccessInfo) error {
+//
+// step reports whether the access hit but does not touch the
+// aggregate Accesses/Hits/Misses counters: those are three dependent
+// read-modify-writes through the heap per access, so every caller
+// accumulates them in register-resident locals and flushes once per
+// loop (flushCounts) — same sums, no per-access store traffic. The
+// per-residency Hits counter stays here: it is residency state, not an
+// aggregate.
+func (st *replayState) step(llc *cache.SetAssoc, ways int, a *cache.AccessInfo) (bool, error) {
 	if st.hooks.OnAccess != nil {
 		st.hooks.OnAccess(*a)
 	}
 	counting := a.Index >= st.warmup
-	if counting {
-		st.res.Accesses++
-	}
 	id := a.BlockID
 	if li := st.active[id]; li != 0 {
 		r := &st.lines[li-1]
@@ -450,14 +465,13 @@ func (st *replayState) step(llc *cache.SetAssoc, ways int, a *cache.AccessInfo) 
 		set := llc.SetOf(a.Block)
 		llc.Policy().Hit(set, int(li-1)-set*ways, a)
 		if counting {
-			st.res.Hits++
 			r.Hits++
 		}
 		r.addCore(a.Core)
 		if a.Write {
 			r.written = true
 		}
-		return nil
+		return true, nil
 	}
 	pred := a.PredictedShared
 	var out cache.Result
@@ -469,14 +483,11 @@ func (st *replayState) step(llc *cache.SetAssoc, ways int, a *cache.AccessInfo) 
 	} else {
 		out = llc.FillRef(a)
 	}
-	if counting {
-		st.res.Misses++
-	}
 	li := out.Set*ways + out.Way
 	if out.Evicted {
 		victim := &st.lines[li]
 		if victim.Block != out.Victim || st.active[victim.id] != uint32(li+1) {
-			return fmt.Errorf("sharing: evicted block %d has no tracked residency", out.Victim)
+			return false, fmt.Errorf("sharing: evicted block %d has no tracked residency", out.Victim)
 		}
 		st.active[victim.id] = 0
 		st.closeRes(victim, a.Index)
@@ -493,7 +504,16 @@ func (st *replayState) step(llc *cache.SetAssoc, ways int, a *cache.AccessInfo) 
 	}
 	st.lines[li].addCore(a.Core)
 	st.active[id] = uint32(li + 1)
-	return nil
+	return false, nil
+}
+
+// flushCounts folds a caller's per-loop access/hit accumulators into
+// the aggregate result counters — the once-per-loop counterpart of the
+// per-access counting that step and stepLogged no longer do.
+func (st *replayState) flushCounts(accesses, hits uint64) {
+	st.res.Accesses += accesses
+	st.res.Hits += hits
+	st.res.Misses += accesses - hits
 }
 
 // stepLogged advances the tracker by one access whose cache outcome was
@@ -505,40 +525,34 @@ func (st *replayState) step(llc *cache.SetAssoc, ways int, a *cache.AccessInfo) 
 // carry hooks or fill-time predictions (a prediction would feed back
 // into the walk that produced the log), so the hook dispatch of step is
 // absent, and the tracker-vs-cache cross-checks become tracker-vs-log
-// checks in both directions.
-func (st *replayState) stepLogged(b uint8, setMask uint64, ways int, a *cache.AccessInfo) error {
+// checks in both directions. Like step it reports the hit and leaves
+// the aggregate counters to the caller's flushCounts.
+func (st *replayState) stepLogged(b uint8, setMask uint64, ways int, a *cache.AccessInfo) (bool, error) {
 	counting := a.Index >= st.warmup
-	if counting {
-		st.res.Accesses++
-	}
 	id := a.BlockID
 	li := st.active[id]
 	if b&logHit != 0 {
 		if li == 0 {
-			return fmt.Errorf("sharing: policy pass hit block %d the tracker has as absent", a.Block)
+			return false, fmt.Errorf("sharing: policy pass hit block %d the tracker has as absent", a.Block)
 		}
 		r := &st.lines[li-1]
 		if counting {
-			st.res.Hits++
 			r.Hits++
 		}
 		r.addCore(a.Core)
 		if a.Write {
 			r.written = true
 		}
-		return nil
+		return true, nil
 	}
 	if li != 0 {
-		return fmt.Errorf("sharing: policy pass missed block %d the tracker has as resident", a.Block)
-	}
-	if counting {
-		st.res.Misses++
+		return false, fmt.Errorf("sharing: policy pass missed block %d the tracker has as resident", a.Block)
 	}
 	idx := int(a.Block&setMask)*ways + int(b&logWayMask)
 	if b&logEvict != 0 {
 		victim := &st.lines[idx]
 		if st.active[victim.id] != uint32(idx+1) {
-			return fmt.Errorf("sharing: evicted line (set %d way %d) holds no tracked residency", idx/ways, idx%ways)
+			return false, fmt.Errorf("sharing: evicted line (set %d way %d) holds no tracked residency", idx/ways, idx%ways)
 		}
 		st.active[victim.id] = 0
 		st.closeRes(victim, a.Index)
@@ -555,7 +569,7 @@ func (st *replayState) stepLogged(b uint8, setMask uint64, ways int, a *cache.Ac
 	}
 	st.lines[idx].addCore(a.Core)
 	st.active[id] = uint32(idx + 1)
-	return nil
+	return false, nil
 }
 
 // run replays accesses through llc. With order == nil the whole stream is
@@ -568,6 +582,7 @@ func (st *replayState) run(llc *cache.SetAssoc, stream []cache.AccessInfo, order
 	if order != nil {
 		n = len(order)
 	}
+	var acc, hits uint64
 	for k := 0; k < n; k++ {
 		if st.ctx != nil && k&(cancelStride-1) == 0 {
 			if err := st.ctx.Err(); err != nil {
@@ -581,10 +596,18 @@ func (st *replayState) run(llc *cache.SetAssoc, stream []cache.AccessInfo, order
 		if order == nil && stream[i].Index != int64(i) {
 			return fmt.Errorf("sharing: stream index %d at position %d; use cache.FilterStream ordering", stream[i].Index, i)
 		}
-		if err := st.step(llc, ways, &stream[i]); err != nil {
+		hit, err := st.step(llc, ways, &stream[i])
+		if err != nil {
 			return err
 		}
+		if stream[i].Index >= st.warmup {
+			acc++
+			if hit {
+				hits++
+			}
+		}
 	}
+	st.flushCounts(acc, hits)
 	return nil
 }
 

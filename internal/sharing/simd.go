@@ -1,0 +1,278 @@
+package sharing
+
+// SIMD tier selection and the decode/probe pipeline.
+//
+// PR 6/8/9 shaped the replay into column loops precisely so an
+// explicit data-parallel tier could drop in; this file is that tier's
+// selection layer. The kernels themselves live in internal/simd
+// (AVX2/NEON assembly with a portable SWAR middle tier); what sharing
+// adds is (a) a -simd knob mirroring -kernel/-tracker — per-replay
+// via Options.SIMD, global via the SHARELLC_SIMD env gate — resolved
+// once per replay into a simdOps binding consumed by the SIMD advance
+// variants (tracker.go) and the batched close drain, and (b) colPipe,
+// the per-shard software pipeline that decodes chunk N+1's columns
+// while chunk N is in its probe/count/advance phases.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"sharellc/internal/cache"
+	"sharellc/internal/simd"
+)
+
+// SIMD selects the data-parallel tier of the batched lane walks. The
+// zero value resolves to the assembly kernels when the CPU has them
+// and to the portable SWAR kernels otherwise; SIMDSWAR forces the
+// SWAR tier (the cross-architecture reference); SIMDOff disables the
+// tier entirely — scalar advance loops, inline eviction closes, serial
+// decode — exactly the PR 9 paths, kept as the bisection escape hatch
+// (the -simd flag on sharesim, sharesimd and dumprows). Results are
+// bit-identical across all three. Like -tracker, it applies only
+// where the batch kernel runs.
+type SIMD uint8
+
+const (
+	// SIMDAuto picks assembly when available, else SWAR.
+	SIMDAuto SIMD = iota
+	// SIMDSWAR forces the portable SWAR kernels.
+	SIMDSWAR
+	// SIMDOff disables the data-parallel tier (the PR 9 scalar paths).
+	SIMDOff
+)
+
+// String returns the flag spelling of s.
+func (s SIMD) String() string {
+	switch s {
+	case SIMDAuto:
+		return "auto"
+	case SIMDSWAR:
+		return "swar"
+	case SIMDOff:
+		return "off"
+	}
+	return fmt.Sprintf("SIMD(%d)", uint8(s))
+}
+
+// ParseSIMD resolves a -simd flag value, rejecting unknown values with
+// an error enumerating the valid ones.
+func ParseSIMD(s string) (SIMD, error) {
+	switch s {
+	case "auto":
+		return SIMDAuto, nil
+	case "swar":
+		return SIMDSWAR, nil
+	case "off":
+		return SIMDOff, nil
+	}
+	return 0, fmt.Errorf("sharing: unknown simd tier %q (have auto, swar, off)", s)
+}
+
+// simdCap is the global tier cap, mirroring batchTrackerOn: default
+// auto (no cap); SHARELLC_SIMD=swar caps every replay at the SWAR
+// tier, SHARELLC_SIMD=off forces the scalar paths — both without a
+// rebuild, so a bad kernel can be bisected in production. The numeric
+// order auto < swar < off is "less capable", so the effective tier is
+// the max of the option and the cap.
+var simdCap atomic.Uint32
+
+func init() {
+	switch os.Getenv("SHARELLC_SIMD") {
+	case "off":
+		simdCap.Store(uint32(SIMDOff))
+	case "swar":
+		simdCap.Store(uint32(SIMDSWAR))
+	}
+}
+
+// EnableSIMD sets the global SIMD tier cap for replays started
+// afterwards, returning the previous cap.
+func EnableSIMD(s SIMD) (prev SIMD) {
+	return SIMD(simdCap.Swap(uint32(s)))
+}
+
+// The SIMD kernels bake in the outcome-word, outcome-log and packed
+// core/write-word encodings; these pins keep the copies in
+// internal/simd from drifting apart from the authoritative ones.
+const (
+	_ = cache.BatchHit - uint32(1)<<simd.HitShift
+	_ = uint32(1)<<simd.HitShift - cache.BatchHit
+	_ = simd.LogHit - logHit
+	_ = logHit - simd.LogHit
+	_ = simd.CWWritten - cwWritten
+	_ = cwWritten - simd.CWWritten
+)
+
+// simdOps is one replay's bound kernel set — assembly or SWAR,
+// resolved once per replay (resolveSIMD) the way advanceFn variants
+// are bound once at lane setup. A nil *simdOps means the tier is off.
+type simdOps struct {
+	countHits    func([]uint32) uint64
+	countLogHits func([]uint8) uint64
+	expandCW     func([]uint8, []uint64)
+	degrees      func([]uint64, []uint8)
+}
+
+var asmOps = simdOps{
+	countHits:    simd.CountHits,
+	countLogHits: simd.CountLogHits,
+	expandCW:     simd.ExpandCW,
+	degrees:      simd.Degrees,
+}
+
+var swarOps = simdOps{
+	countHits:    simd.CountHitsSWAR,
+	countLogHits: simd.CountLogHitsSWAR,
+	expandCW:     simd.ExpandCWSWAR,
+	degrees:      simd.DegreesSWAR,
+}
+
+// resolveSIMD combines the per-replay option with the global cap and
+// hardware detection into the bound kernel set, or nil when the tier
+// is off.
+func resolveSIMD(opt SIMD) *simdOps {
+	if c := SIMD(simdCap.Load()); c > opt {
+		opt = c
+	}
+	switch opt {
+	case SIMDAuto:
+		if simd.HasAsm() {
+			return &asmOps
+		}
+		return &swarOps
+	case SIMDSWAR:
+		return &swarOps
+	}
+	return nil
+}
+
+// pipeAhead bounds the decode producer's lookahead: it may run at most
+// one full chunk past the chunk the consumer is in (decoded ≤ consumed
+// + 2·batchSize covers the in-flight chunk plus one), so the pipeline
+// never holds more than two chunks of freshly-decoded columns — they
+// stay L1/L2-resident for the consumer — and cancellation latency
+// stays one chunk.
+const pipeAhead = 2 * batchSize
+
+// colPipe is the per-shard decode pipeline: a producer goroutine
+// gathers the shard's accesses and decodes their columns chunk by
+// chunk, publishing a monotone watermark; the shard worker's lane
+// walks wait for each chunk's range before consuming it and publish
+// their own consumption watermark back, which is what bounds the
+// lookahead. Same discipline as logRing: watermarks are published
+// after the column bytes are written and Go's atomics order the
+// stores, so a consumer that observes decoded ≥ n may read the first n
+// column entries without the lock; the mutex/cond pair only parks
+// whichever side arrived early. abort (consumer → producer, on error
+// or cancellation) unparks the producer so it can exit; done closes
+// when the producer has returned, making it safe to reuse or release
+// the column scratch.
+type colPipe struct {
+	decoded  atomic.Int64
+	consumed atomic.Int64
+	aborted  atomic.Bool
+	mu       sync.Mutex
+	cond     sync.Cond
+	done     chan struct{}
+}
+
+func newColPipe() *colPipe {
+	p := &colPipe{done: make(chan struct{})}
+	p.cond.L = &p.mu
+	return p
+}
+
+// publish makes the first n decoded column entries visible.
+func (p *colPipe) publish(n int64) {
+	p.decoded.Store(n)
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// waitDecoded blocks until the first n column entries are decoded.
+// The producer only exits early when aborted — and abort is only
+// called after the consumer stops consuming — so a positive wait can
+// always be satisfied unless this replay is already failing.
+func (p *colPipe) waitDecoded(n int64) {
+	if p.decoded.Load() >= n {
+		return
+	}
+	p.mu.Lock()
+	for p.decoded.Load() < n && !p.aborted.Load() {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// consume publishes the consumer's progress: column entries below n
+// are no longer needed, releasing producer lookahead room. Later lane
+// walks of the same shard re-walk the columns from the start; their
+// re-publications of earlier watermarks are dropped (the producer has
+// already run ahead and only new room can unpark it).
+func (p *colPipe) consume(n int64) {
+	if p.consumed.Load() >= n {
+		return
+	}
+	p.consumed.Store(n)
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// waitRoom blocks the producer until decoding up to n stays within the
+// lookahead bound, returning false when the pipe was aborted.
+func (p *colPipe) waitRoom(n int64) bool {
+	if p.aborted.Load() {
+		return false
+	}
+	if n <= p.consumed.Load()+pipeAhead {
+		return true
+	}
+	p.mu.Lock()
+	for n > p.consumed.Load()+pipeAhead && !p.aborted.Load() {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	return !p.aborted.Load()
+}
+
+// abort unparks the producer so it exits without decoding further;
+// join (below) then waits for it. Idempotent, and harmless after a
+// clean finish.
+func (p *colPipe) abort() {
+	p.aborted.Store(true)
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// join blocks until the producer goroutine has returned. The column
+// scratch must not be reused (next shard) or released (pool put) until
+// then.
+func (p *colPipe) join() { <-p.done }
+
+// decodePipelined is the producer: the shard gather fused with the
+// column decode, chunk by chunk, publishing after each chunk. Fusing
+// the two means the 56-byte records are still hot in L1 when the
+// decode re-reads them, where the serial path streams the whole shard
+// buffer twice.
+func decodePipelined(stream []cache.AccessInfo, order []int32, accs []cache.AccessInfo, bs *batchScratch, p *colPipe) {
+	defer close(p.done)
+	for lo := 0; lo < len(order); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(order) {
+			hi = len(order)
+		}
+		if !p.waitRoom(int64(hi)) {
+			return
+		}
+		for k := lo; k < hi; k++ {
+			accs[k] = stream[order[k]]
+		}
+		decodeColumns(accs[lo:hi], bs.blk[lo:hi], bs.id[lo:hi], bs.meta[lo:hi])
+		p.publish(int64(hi))
+	}
+}

@@ -639,3 +639,407 @@ func advanceLogSoAFull(st *replayState, l *lane, bs *batchScratch, accs []cache.
 	}
 	return nil
 }
+
+// --- SIMD-tier variants -------------------------------------------------
+//
+// The variants below are the data-parallel twins of the advance loops
+// above, bound instead of them when the replay resolves an active SIMD
+// tier (Options.SIMD / SHARELLC_SIMD — see simd.go). Differences from
+// their scalar twins, each bit-identical by construction:
+//
+//   - the chunk's core/write words are expanded once up front into
+//     bs.cw (simd.ExpandCW over the meta byte column — chunk-sized, so
+//     the column stays L1-resident between the expansion and the walk,
+//     unlike the shard-length column PR 9 measured and rejected), and
+//     the loop reads words instead of re-deriving them per access;
+//   - the struct paths count hits with the SIMD reduction instead of
+//     countBatch's scalar loop (the SoA loops keep the count fused —
+//     their hit branch already distinguishes the outcomes);
+//   - captured evictions drain through flushClosedBatched: degrees
+//     popcounted in one vectorized pass over the buffered cw column,
+//     block-state writes partitioned for locality.
+
+// closeBuckets is the partition fan-out of the batched close drain: a
+// chunk's evictions are drained bucket by bucket of block-ID high
+// bits, so the random blockState byte writes of one bucket land within
+// a 1/closeBuckets slice of the shard's census instead of anywhere in
+// it. 256 buckets cut a multi-megabyte census into KB-scale regions
+// while the counting sort stays two cheap passes over at most
+// batchSize entries.
+const closeBuckets = 256
+
+// closeShiftFor returns the right shift that maps a dense BlockID
+// (< numBlocks) onto its close-drain bucket.
+func closeShiftFor(numBlocks int) uint8 {
+	if numBlocks <= closeBuckets {
+		return 0
+	}
+	return uint8(bits.Len(uint(numBlocks-1)) - 8)
+}
+
+// flushClosedBatched is the SIMD tier's flushClosed: one vectorized
+// degree pass over the captured cw column, then the drain — in
+// capture order when the lane keeps residencies (ResidencyLog appends
+// must land exactly where the inline closes would have put them), and
+// bucket-partitioned by block ID otherwise. Reordering the drain is
+// safe for everything but the log: the counters are order-independent
+// sums, a chunk's captured entries close distinct residencies, the
+// blockState census is a monotonic unseen < private < shared lattice
+// (two writes for the same block commute: shared stores
+// unconditionally, private only upgrades unseen), and FillShared marks
+// are idempotent — see INTERNALS.md.
+func (st *replayState) flushClosedBatched(bs *batchScratch, n int) {
+	if n == 0 {
+		return
+	}
+	bs.ops.degrees(bs.ecw[:n], bs.edeg[:n])
+	if st.keep {
+		st.drainClosed(bs, n, nil)
+		return
+	}
+	eid := bs.eid[:n]
+	ord := bs.eord[:n]
+	sh := bs.closeShift
+	var counts [closeBuckets + 1]int32
+	for _, id := range eid {
+		counts[(id>>sh)+1]++
+	}
+	for b := 0; b < closeBuckets; b++ {
+		counts[b+1] += counts[b]
+	}
+	for k, id := range eid {
+		b := id >> sh
+		ord[counts[b]] = uint16(k)
+		counts[b]++
+	}
+	st.drainClosed(bs, n, ord)
+}
+
+// drainClosed folds the first n captured evictions into the counters —
+// flushClosed's body with the degree read from the precomputed edeg
+// column, visiting entries in capture order (ord nil) or through the
+// bucket permutation.
+func (st *replayState) drainClosed(bs *batchScratch, n int, ord []uint16) {
+	res := st.res
+	bstate := st.blockState
+	warm := uint64(st.warmup)
+	for j := 0; j < n; j++ {
+		k := j
+		if ord != nil {
+			k = int(ord[j])
+		}
+		cw := bs.ecw[k]
+		deg := int(bs.edeg[k])
+		shared := deg >= 2
+		id := bs.eid[k]
+		if shared {
+			if res.FillShared != nil {
+				res.FillShared[bs.efill[k]] = true
+			}
+			bstate[id] = blockShared
+		} else if bstate[id] == blockUnseen {
+			bstate[id] = blockPrivate
+		}
+		if bs.eidx[k] < warm {
+			continue
+		}
+		h := bs.ehits[k]
+		res.Residencies++
+		res.DegreeResidencies[deg]++
+		res.DegreeHits[deg] += h
+		if shared {
+			res.SharedResidencies++
+			res.SharedHits += h
+			if cw&cwWritten != 0 {
+				res.RWSharedResidencies++
+				res.RWSharedHits += h
+			} else {
+				res.ROSharedResidencies++
+				res.ROSharedHits += h
+			}
+		} else {
+			res.PrivateHits += h
+		}
+		if st.keep {
+			fm := bs.emeta[k]
+			r := Residency{
+				Block:      bs.eblk[k],
+				FillIndex:  int64(bs.efill[k]),
+				FillPC:     bs.epc[k],
+				Hits:       h,
+				EvictIndex: int64(bs.eidx[k]),
+				id:         id,
+				FillCore:   fm &^ fmPred,
+				written:    cw&cwWritten != 0,
+				Predicted:  fm&fmPred != 0,
+			}
+			r.coreMask[0] = cw &^ cwWritten
+			res.ResidencyLog = append(res.ResidencyLog, r)
+		}
+	}
+}
+
+// advanceStructOutSIMD is advanceStructOut with the SIMD hit-count
+// reduction in place of countBatch's scalar loop.
+func advanceStructOutSIMD(st *replayState, bs *batchScratch, out []uint32, accs []cache.AccessInfo, lo int, counting bool) error {
+	if counting {
+		h := bs.ops.countHits(out)
+		n := uint64(len(out))
+		st.res.Accesses += n
+		st.res.Hits += h
+		st.res.Misses += n - h
+	}
+	hi := lo + len(out)
+	return st.advanceBatch(bs.blk[lo:hi], bs.meta[lo:hi], out, accs, counting)
+}
+
+// advanceLogStructSIMD is advanceLogStruct with the SIMD outcome-log
+// hit scan in place of the decode-then-count pair.
+func advanceLogStructSIMD(st *replayState, l *lane, bs *batchScratch, accs []cache.AccessInfo, logc []uint8, lo int, counting bool) error {
+	hi := lo + len(accs)
+	out := bs.out[:len(accs)]
+	decodeLog(logc, bs.blk[lo:hi], uint64(l.sets-1), l.cfg.Ways, out)
+	if counting {
+		h := bs.ops.countLogHits(logc[:len(accs)])
+		n := uint64(len(accs))
+		st.res.Accesses += n
+		st.res.Hits += h
+		st.res.Misses += n - h
+	}
+	return st.advanceBatch(bs.blk[lo:hi], bs.meta[lo:hi], out, accs, counting)
+}
+
+// advanceSoACountersSIMD is advanceSoACounters reading the chunk's
+// core/write words from the vector-expanded cw column and draining
+// captures through the batched close path.
+func advanceSoACountersSIMD(st *replayState, bs *batchScratch, out []uint32, accs []cache.AccessInfo, lo int, counting bool) error {
+	t := st.cols
+	hc, ids := t.hc, t.id
+	metac := bs.meta[lo:][:len(out)]
+	idc := bs.id[lo:][:len(out)]
+	cwc := bs.cw[:len(out)]
+	bs.ops.expandCW(metac, cwc)
+	inc := uint64(0)
+	if counting {
+		inc = 1
+	}
+	var h uint64
+	ne := 0
+	for k, o := range out {
+		li := o & cache.BatchLine
+		p := &hc[li]
+		w := cwc[k]
+		if o&cache.BatchHit != 0 {
+			p[0] += inc
+			p[1] |= w
+			h++
+			continue
+		}
+		if o&cache.BatchEvict != 0 {
+			if p[1] == 0 {
+				return fmt.Errorf("sharing: batch evicted line %d holds no open residency", li)
+			}
+			bs.ecw[ne] = p[1]
+			bs.ehits[ne] = p[0]
+			bs.eid[ne] = ids[li]
+			bs.eidx[ne] = uint64(accs[k].Index)
+			ne++
+		}
+		ids[li] = idc[k]
+		*p = [2]uint64{0, w}
+	}
+	st.flushClosedBatched(bs, ne)
+	if counting {
+		n := uint64(len(out))
+		st.res.Accesses += n
+		st.res.Hits += h
+		st.res.Misses += n - h
+	}
+	return nil
+}
+
+// advanceSoAFullSIMD is advanceSoAFull on the vector-expanded cw
+// column with the batched close drain.
+func advanceSoAFullSIMD(st *replayState, bs *batchScratch, out []uint32, accs []cache.AccessInfo, lo int, counting bool) error {
+	t := st.cols
+	metac := bs.meta[lo:][:len(out)]
+	idc := bs.id[lo:][:len(out)]
+	blk := bs.blk[lo:][:len(out)]
+	cwc := bs.cw[:len(out)]
+	bs.ops.expandCW(metac, cwc)
+	inc := uint64(0)
+	if counting {
+		inc = 1
+	}
+	var h uint64
+	ne := 0
+	for k, o := range out {
+		li := o & cache.BatchLine
+		p := &t.hc[li]
+		w := cwc[k]
+		if o&cache.BatchHit != 0 {
+			p[0] += inc
+			p[1] |= w
+			h++
+			continue
+		}
+		a := &accs[k]
+		if o&cache.BatchEvict != 0 {
+			if p[1] == 0 {
+				return fmt.Errorf("sharing: batch evicted line %d holds no open residency", li)
+			}
+			bs.ecw[ne] = p[1]
+			bs.ehits[ne] = p[0]
+			bs.eid[ne] = t.id[li]
+			bs.eidx[ne] = uint64(a.Index)
+			bs.efill[ne] = t.fillIdx[li]
+			if t.block != nil {
+				bs.eblk[ne] = t.block[li]
+				bs.epc[ne] = t.fillPC[li]
+				bs.emeta[ne] = t.fillMeta[li]
+			}
+			ne++
+		}
+		t.id[li] = idc[k]
+		*p = [2]uint64{0, w}
+		t.fillIdx[li] = uint64(a.Index)
+		if t.block != nil {
+			t.block[li] = blk[k]
+			t.fillPC[li] = a.PC
+			fm := a.Core
+			if a.PredictedShared {
+				fm |= fmPred
+			}
+			t.fillMeta[li] = fm
+		}
+	}
+	st.flushClosedBatched(bs, ne)
+	if counting {
+		n := uint64(len(out))
+		st.res.Accesses += n
+		st.res.Hits += h
+		st.res.Misses += n - h
+	}
+	return nil
+}
+
+// advanceLogSoACountersSIMD is advanceLogSoACounters on the
+// vector-expanded cw column with the batched close drain.
+func advanceLogSoACountersSIMD(st *replayState, l *lane, bs *batchScratch, accs []cache.AccessInfo, logc []uint8, lo int, counting bool) error {
+	t := st.cols
+	setMask := uint64(l.sets - 1)
+	ways := l.cfg.Ways
+	logc = logc[:len(accs)]
+	blk := bs.blk[lo:][:len(accs)]
+	metac := bs.meta[lo:][:len(accs)]
+	idc := bs.id[lo:][:len(accs)]
+	cwc := bs.cw[:len(accs)]
+	bs.ops.expandCW(metac, cwc)
+	inc := uint64(0)
+	if counting {
+		inc = 1
+	}
+	var h uint64
+	ne := 0
+	for k := range accs {
+		b := logc[k]
+		li := uint32(int(blk[k]&setMask)*ways) + uint32(b&logWayMask)
+		p := &t.hc[li]
+		w := cwc[k]
+		if b&logHit != 0 {
+			p[0] += inc
+			p[1] |= w
+			h++
+			continue
+		}
+		if b&logEvict != 0 {
+			if p[1] == 0 {
+				return fmt.Errorf("sharing: logged eviction of line %d holds no open residency", li)
+			}
+			bs.ecw[ne] = p[1]
+			bs.ehits[ne] = p[0]
+			bs.eid[ne] = t.id[li]
+			bs.eidx[ne] = uint64(accs[k].Index)
+			ne++
+		}
+		t.id[li] = idc[k]
+		*p = [2]uint64{0, w}
+	}
+	st.flushClosedBatched(bs, ne)
+	if counting {
+		n := uint64(len(accs))
+		st.res.Accesses += n
+		st.res.Hits += h
+		st.res.Misses += n - h
+	}
+	return nil
+}
+
+// advanceLogSoAFullSIMD is advanceLogSoAFull on the vector-expanded cw
+// column with the batched close drain.
+func advanceLogSoAFullSIMD(st *replayState, l *lane, bs *batchScratch, accs []cache.AccessInfo, logc []uint8, lo int, counting bool) error {
+	t := st.cols
+	setMask := uint64(l.sets - 1)
+	ways := l.cfg.Ways
+	logc = logc[:len(accs)]
+	blk := bs.blk[lo:][:len(accs)]
+	metac := bs.meta[lo:][:len(accs)]
+	idc := bs.id[lo:][:len(accs)]
+	cwc := bs.cw[:len(accs)]
+	bs.ops.expandCW(metac, cwc)
+	inc := uint64(0)
+	if counting {
+		inc = 1
+	}
+	var h uint64
+	ne := 0
+	for k := range accs {
+		b := logc[k]
+		li := uint32(int(blk[k]&setMask)*ways) + uint32(b&logWayMask)
+		p := &t.hc[li]
+		w := cwc[k]
+		if b&logHit != 0 {
+			p[0] += inc
+			p[1] |= w
+			h++
+			continue
+		}
+		a := &accs[k]
+		if b&logEvict != 0 {
+			if p[1] == 0 {
+				return fmt.Errorf("sharing: logged eviction of line %d holds no open residency", li)
+			}
+			bs.ecw[ne] = p[1]
+			bs.ehits[ne] = p[0]
+			bs.eid[ne] = t.id[li]
+			bs.eidx[ne] = uint64(a.Index)
+			bs.efill[ne] = t.fillIdx[li]
+			if t.block != nil {
+				bs.eblk[ne] = t.block[li]
+				bs.epc[ne] = t.fillPC[li]
+				bs.emeta[ne] = t.fillMeta[li]
+			}
+			ne++
+		}
+		t.id[li] = idc[k]
+		*p = [2]uint64{0, w}
+		t.fillIdx[li] = uint64(a.Index)
+		if t.block != nil {
+			t.block[li] = blk[k]
+			t.fillPC[li] = a.PC
+			fm := a.Core
+			if a.PredictedShared {
+				fm |= fmPred
+			}
+			t.fillMeta[li] = fm
+		}
+	}
+	st.flushClosedBatched(bs, ne)
+	if counting {
+		n := uint64(len(accs))
+		st.res.Accesses += n
+		st.res.Hits += h
+		st.res.Misses += n - h
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package simd
+
+// AVX2 feature detection without a dependency on golang.org/x/sys/cpu
+// (the module is dependency-free): the standard CPUID/XGETBV dance —
+// leaf 1 for OSXSAVE+AVX, XCR0 for OS-enabled XMM|YMM state, leaf 7
+// for AVX2 itself.
+
+var hasAsm = detectAVX2()
+
+// cpuid executes CPUID with the given leaf/subleaf. Implemented in
+// detect_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0. Call only when CPUID leaf 1 reports OSXSAVE.
+func xgetbv0() (eax, edx uint32)
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (XMM) and 2 (YMM) must both be OS-enabled.
+	xlo, _ := xgetbv0()
+	if xlo&0x6 != 0x6 {
+		return false
+	}
+	const avx2 = 1 << 5
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&avx2 != 0
+}

@@ -1,0 +1,73 @@
+package simd
+
+// amd64 dispatchers: AVX2 bodies over whole vectors, SWAR over the
+// tail (and over everything when detection failed). The assembly
+// functions require their stated length multiples and a non-zero
+// length — the wrappers enforce both.
+
+//go:noescape
+func countHitsAVX2(out []uint32) uint64
+
+//go:noescape
+func countLogHitsAVX2(log []uint8) uint64
+
+//go:noescape
+func expandCWAVX2(meta []uint8, cw []uint64)
+
+//go:noescape
+func degreesAVX2(cw []uint64, deg []uint8)
+
+// CountHits returns the number of outcome words with the hit flag set.
+func CountHits(out []uint32) uint64 {
+	if !hasAsm {
+		return CountHitsSWAR(out)
+	}
+	n := len(out) &^ 31
+	var s uint64
+	if n > 0 {
+		s = countHitsAVX2(out[:n])
+	}
+	return s + CountHitsSWAR(out[n:])
+}
+
+// CountLogHits returns the number of outcome-log bytes with the hit
+// flag set.
+func CountLogHits(log []uint8) uint64 {
+	if !hasAsm {
+		return CountLogHitsSWAR(log)
+	}
+	n := len(log) &^ 31
+	var s uint64
+	if n > 0 {
+		s = countLogHitsAVX2(log[:n])
+	}
+	return s + CountLogHitsSWAR(log[n:])
+}
+
+// ExpandCW expands packed meta bytes into core/write words (see
+// ExpandCWSWAR for the encoding). len(cw) must be at least len(meta).
+func ExpandCW(meta []uint8, cw []uint64) {
+	if !hasAsm {
+		ExpandCWSWAR(meta, cw)
+		return
+	}
+	n := len(meta) &^ 3
+	if n > 0 {
+		expandCWAVX2(meta[:n], cw[:n])
+	}
+	ExpandCWSWAR(meta[n:], cw[n:len(meta)])
+}
+
+// Degrees writes each core/write word's core popcount (the CWWritten
+// bit masked) into deg. len(deg) must be at least len(cw).
+func Degrees(cw []uint64, deg []uint8) {
+	if !hasAsm {
+		DegreesSWAR(cw, deg)
+		return
+	}
+	n := len(cw) &^ 3
+	if n > 0 {
+		degreesAVX2(cw[:n], deg[:n])
+	}
+	DegreesSWAR(cw[n:], deg[n:len(cw)])
+}

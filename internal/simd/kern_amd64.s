@@ -1,0 +1,165 @@
+#include "textflag.h"
+
+// Nibble popcount lookup table for VPSHUFB, doubled across both xmm
+// lanes of the ymm register.
+DATA popLUT<>+0(SB)/8, $0x0302020102010100
+DATA popLUT<>+8(SB)/8, $0x0403030203020201
+DATA popLUT<>+16(SB)/8, $0x0302020102010100
+DATA popLUT<>+24(SB)/8, $0x0403030203020201
+GLOBL popLUT<>(SB), RODATA|NOPTR, $32
+
+// func countHitsAVX2(out []uint32) uint64
+// Requires len(out) > 0 and len(out) % 32 == 0 (the wrapper's tail
+// handling guarantees both). Sums (o >> 30) & 1 over out: four ymm
+// loads per iteration into one dword accumulator (each lane gains at
+// most 4 per iteration, so lanes cannot overflow below 2^35 elements).
+TEXT ·countHitsAVX2(SB), NOSPLIT, $0-32
+	MOVQ out_base+0(FP), SI
+	MOVQ out_len+8(FP), CX
+	MOVL $1, DX
+	VMOVD DX, X0
+	VPBROADCASTD X0, Y0      // dword 1s
+	VPXOR Y1, Y1, Y1         // dword accumulator
+
+chloop:
+	VMOVDQU (SI), Y2
+	VMOVDQU 32(SI), Y3
+	VMOVDQU 64(SI), Y4
+	VMOVDQU 96(SI), Y5
+	VPSRLD $30, Y2, Y2
+	VPSRLD $30, Y3, Y3
+	VPSRLD $30, Y4, Y4
+	VPSRLD $30, Y5, Y5
+	VPAND  Y0, Y2, Y2
+	VPAND  Y0, Y3, Y3
+	VPAND  Y0, Y4, Y4
+	VPAND  Y0, Y5, Y5
+	VPADDD Y3, Y2, Y2
+	VPADDD Y5, Y4, Y4
+	VPADDD Y4, Y2, Y2
+	VPADDD Y2, Y1, Y1
+	ADDQ   $128, SI
+	SUBQ   $32, CX
+	JNE    chloop
+
+	VEXTRACTI128 $1, Y1, X2
+	VPADDD X2, X1, X1
+	VPSHUFD $0x4E, X1, X2
+	VPADDD X2, X1, X1
+	VPSHUFD $0xB1, X1, X2
+	VPADDD X2, X1, X1
+	VMOVD X1, AX             // 32-bit move zero-extends into RAX
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func countLogHitsAVX2(log []uint8) uint64
+// Requires len(log) > 0 and len(log) % 32 == 0. Masks each byte to the
+// hit flag (0x40), sums bytes per qword with VPSADBW, accumulates the
+// qword sums and divides the total by 0x40 at the end.
+TEXT ·countLogHitsAVX2(SB), NOSPLIT, $0-32
+	MOVQ log_base+0(FP), SI
+	MOVQ log_len+8(FP), CX
+	MOVL $0x40, DX
+	VMOVD DX, X0
+	VPBROADCASTB X0, Y0      // byte 0x40s
+	VPXOR Y1, Y1, Y1         // qword accumulator
+	VPXOR Y6, Y6, Y6         // zero, for VPSADBW
+
+clloop:
+	VMOVDQU (SI), Y2
+	VPAND   Y0, Y2, Y2
+	VPSADBW Y6, Y2, Y2       // per-qword byte sums (multiples of 0x40)
+	VPADDQ  Y2, Y1, Y1
+	ADDQ    $32, SI
+	SUBQ    $32, CX
+	JNE     clloop
+
+	VEXTRACTI128 $1, Y1, X2
+	VPADDQ X2, X1, X1
+	VPSHUFD $0x4E, X1, X2
+	VPADDQ X2, X1, X1
+	VMOVQ X1, AX
+	SHRQ $6, AX
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func expandCWAVX2(meta []uint8, cw []uint64)
+// Requires len(meta) > 0 and len(meta) % 4 == 0; cw receives one qword
+// per meta byte: 1 << (m & 0x7f) | (m & 0x80) << 56. VPSLLVQ lanes
+// with shift counts >= 64 produce 0, matching Go's shift semantics for
+// the (unreachable under the SoA core cap) byte values 64..127.
+TEXT ·expandCWAVX2(SB), NOSPLIT, $0-48
+	MOVQ meta_base+0(FP), SI
+	MOVQ meta_len+8(FP), CX
+	MOVQ cw_base+24(FP), DI
+	MOVQ $0x7f, DX
+	VMOVQ DX, X0
+	VPBROADCASTQ X0, Y0      // qword 0x7f
+	MOVQ $1, DX
+	VMOVQ DX, X1
+	VPBROADCASTQ X1, Y1      // qword 1
+	MOVQ $0x80, DX
+	VMOVQ DX, X2
+	VPBROADCASTQ X2, Y2      // qword 0x80
+
+exloop:
+	VPMOVZXBQ (SI), Y3       // 4 meta bytes -> 4 qwords
+	VPAND   Y0, Y3, Y4       // core number: m & 0x7f
+	VPSLLVQ Y4, Y1, Y4       // 1 << core, per lane
+	VPAND   Y2, Y3, Y5       // store flag: m & 0x80
+	VPSLLQ  $56, Y5, Y5      // -> bit 63
+	VPOR    Y5, Y4, Y4
+	VMOVDQU Y4, (DI)
+	ADDQ    $4, SI
+	ADDQ    $32, DI
+	SUBQ    $4, CX
+	JNE     exloop
+
+	VZEROUPPER
+	RET
+
+// func degreesAVX2(cw []uint64, deg []uint8)
+// Requires len(cw) > 0 and len(cw) % 4 == 0; writes one byte per qword:
+// popcount(w &^ (1 << 63)) — the written flag masked, core bits
+// counted via the VPSHUFB nibble-LUT popcount and a VPSADBW fold.
+TEXT ·degreesAVX2(SB), NOSPLIT, $0-48
+	MOVQ cw_base+0(FP), SI
+	MOVQ cw_len+8(FP), CX
+	MOVQ deg_base+24(FP), DI
+	VMOVDQU popLUT<>(SB), Y0
+	MOVQ $0x0f0f0f0f0f0f0f0f, DX
+	VMOVQ DX, X1
+	VPBROADCASTQ X1, Y1      // nibble mask
+	MOVQ $0x7fffffffffffffff, DX
+	VMOVQ DX, X2
+	VPBROADCASTQ X2, Y2      // clears the written bit
+	VPXOR Y6, Y6, Y6         // zero, for VPSADBW
+
+dgloop:
+	VMOVDQU (SI), Y3
+	VPAND   Y2, Y3, Y3
+	VPAND   Y1, Y3, Y4       // low nibbles
+	VPSRLW  $4, Y3, Y5
+	VPAND   Y1, Y5, Y5       // high nibbles
+	VPSHUFB Y4, Y0, Y4
+	VPSHUFB Y5, Y0, Y5
+	VPADDB  Y5, Y4, Y4       // per-byte popcounts
+	VPSADBW Y6, Y4, Y4       // per-qword popcounts
+	VEXTRACTI128 $1, Y4, X5
+	VMOVQ   X4, DX
+	MOVB    DL, (DI)
+	VPEXTRQ $1, X4, DX
+	MOVB    DL, 1(DI)
+	VMOVQ   X5, DX
+	MOVB    DL, 2(DI)
+	VPEXTRQ $1, X5, DX
+	MOVB    DL, 3(DI)
+	ADDQ    $32, SI
+	ADDQ    $4, DI
+	SUBQ    $4, CX
+	JNE     dgloop
+
+	VZEROUPPER
+	RET

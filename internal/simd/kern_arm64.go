@@ -1,0 +1,56 @@
+package simd
+
+// arm64 dispatchers. NEON is architecturally baseline on arm64, so
+// there is no runtime detection; the asm bodies require their stated
+// length multiples and a non-zero length, enforced here. ExpandCW has
+// no NEON body: the per-lane variable shift it needs (USHL by a vector
+// of counts) buys nothing over the four-ALU-op SWAR expansion on
+// 2-lane qword vectors, so the SWAR tier is the arm64 implementation.
+
+var hasAsm = true
+
+//go:noescape
+func countHitsNEON(out []uint32) uint64
+
+//go:noescape
+func countLogHitsNEON(log []uint8) uint64
+
+//go:noescape
+func degreesNEON(cw []uint64, deg []uint8)
+
+// CountHits returns the number of outcome words with the hit flag set.
+func CountHits(out []uint32) uint64 {
+	n := len(out) &^ 15
+	var s uint64
+	if n > 0 {
+		s = countHitsNEON(out[:n])
+	}
+	return s + CountHitsSWAR(out[n:])
+}
+
+// CountLogHits returns the number of outcome-log bytes with the hit
+// flag set.
+func CountLogHits(log []uint8) uint64 {
+	n := len(log) &^ 15
+	var s uint64
+	if n > 0 {
+		s = countLogHitsNEON(log[:n])
+	}
+	return s + CountLogHitsSWAR(log[n:])
+}
+
+// ExpandCW expands packed meta bytes into core/write words (see
+// ExpandCWSWAR for the encoding). len(cw) must be at least len(meta).
+func ExpandCW(meta []uint8, cw []uint64) {
+	ExpandCWSWAR(meta, cw)
+}
+
+// Degrees writes each core/write word's core popcount (the CWWritten
+// bit masked) into deg. len(deg) must be at least len(cw).
+func Degrees(cw []uint64, deg []uint8) {
+	n := len(cw) &^ 1
+	if n > 0 {
+		degreesNEON(cw[:n], deg[:n])
+	}
+	DegreesSWAR(cw[n:], deg[n:len(cw)])
+}

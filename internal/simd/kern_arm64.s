@@ -1,0 +1,102 @@
+#include "textflag.h"
+
+// func countHitsNEON(out []uint32) uint64
+// Requires len(out) > 0 and len(out) % 16 == 0. Sums (o >> 30) & 1:
+// four S4 vectors per iteration shifted and masked into one dword
+// accumulator, folded through general registers at the end (each lane
+// gains at most 4 per iteration, so lanes cannot overflow below 2^34
+// elements).
+TEXT ·countHitsNEON(SB), NOSPLIT, $0-32
+	MOVD out_base+0(FP), R0
+	MOVD out_len+8(FP), R1
+	MOVD $1, R2
+	VDUP R2, V0.S4           // dword 1s
+	VEOR V1.B16, V1.B16, V1.B16
+
+chloop:
+	VLD1.P 64(R0), [V2.S4, V3.S4, V4.S4, V5.S4]
+	VUSHR $30, V2.S4, V2.S4
+	VUSHR $30, V3.S4, V3.S4
+	VUSHR $30, V4.S4, V4.S4
+	VUSHR $30, V5.S4, V5.S4
+	VAND  V0.B16, V2.B16, V2.B16
+	VAND  V0.B16, V3.B16, V3.B16
+	VAND  V0.B16, V4.B16, V4.B16
+	VAND  V0.B16, V5.B16, V5.B16
+	VADD  V3.S4, V2.S4, V2.S4
+	VADD  V5.S4, V4.S4, V4.S4
+	VADD  V4.S4, V2.S4, V2.S4
+	VADD  V2.S4, V1.S4, V1.S4
+	SUBS  $16, R1, R1
+	BNE   chloop
+
+	VMOV V1.S[0], R2
+	VMOV V1.S[1], R3
+	ADD  R3, R2, R2
+	VMOV V1.S[2], R3
+	ADD  R3, R2, R2
+	VMOV V1.S[3], R3
+	ADD  R3, R2, R2
+	MOVD R2, ret+24(FP)
+	RET
+
+// func countLogHitsNEON(log []uint8) uint64
+// Requires len(log) > 0 and len(log) % 16 == 0. Masks each byte to the
+// hit flag and shifts it down to 0/1, then folds the 16 lanes through
+// general registers: adding the two qword halves cannot carry between
+// bytes (each byte is at most 1), and the 0x01…01 multiply gathers the
+// byte sum into the top byte.
+TEXT ·countLogHitsNEON(SB), NOSPLIT, $0-32
+	MOVD log_base+0(FP), R0
+	MOVD log_len+8(FP), R1
+	MOVD $0x40, R2
+	VDUP R2, V0.B16          // byte 0x40s
+	MOVD $0x0101010101010101, R5
+	MOVD ZR, R4
+
+clloop:
+	VLD1.P 16(R0), [V2.B16]
+	VAND  V0.B16, V2.B16, V2.B16
+	VUSHR $6, V2.B16, V2.B16 // bytes are now 0 or 1
+	VMOV  V2.D[0], R2
+	VMOV  V2.D[1], R3
+	ADD   R3, R2, R2         // bytewise sums <= 2: no cross-byte carry
+	MUL   R5, R2, R2
+	LSR   $56, R2, R2
+	ADD   R2, R4, R4
+	SUBS  $16, R1, R1
+	BNE   clloop
+
+	MOVD R4, ret+24(FP)
+	RET
+
+// func degreesNEON(cw []uint64, deg []uint8)
+// Requires len(cw) > 0 and len(cw) % 2 == 0; writes one byte per
+// qword: popcount(w &^ (1 << 63)). VCNT counts per byte; the 0x01…01
+// multiply folds the eight byte counts (each <= 8, sum <= 64) into the
+// top byte.
+TEXT ·degreesNEON(SB), NOSPLIT, $0-48
+	MOVD cw_base+0(FP), R0
+	MOVD cw_len+8(FP), R1
+	MOVD deg_base+24(FP), R2
+	MOVD $0x7fffffffffffffff, R3
+	VDUP R3, V0.D2           // clears the written bit
+	MOVD $0x0101010101010101, R5
+
+dgloop:
+	VLD1.P 16(R0), [V1.D2]
+	VAND V0.B16, V1.B16, V1.B16
+	VCNT V1.B16, V1.B16
+	VMOV V1.D[0], R4
+	MUL  R5, R4, R4
+	LSR  $56, R4, R4
+	MOVB R4, (R2)
+	VMOV V1.D[1], R4
+	MUL  R5, R4, R4
+	LSR  $56, R4, R4
+	MOVB R4, 1(R2)
+	ADD  $2, R2, R2
+	SUBS $2, R1, R1
+	BNE  dgloop
+
+	RET

@@ -1,0 +1,21 @@
+//go:build !amd64 && !arm64
+
+package simd
+
+// Pure-Go build: no assembly tier; the auto-dispatching functions are
+// exactly the SWAR tier.
+
+var hasAsm = false
+
+// CountHits returns the number of outcome words with the hit flag set.
+func CountHits(out []uint32) uint64 { return CountHitsSWAR(out) }
+
+// CountLogHits returns the number of outcome-log bytes with the hit
+// flag set.
+func CountLogHits(log []uint8) uint64 { return CountLogHitsSWAR(log) }
+
+// ExpandCW expands packed meta bytes into core/write words.
+func ExpandCW(meta []uint8, cw []uint64) { ExpandCWSWAR(meta, cw) }
+
+// Degrees writes each core/write word's core popcount into deg.
+func Degrees(cw []uint64, deg []uint8) { DegreesSWAR(cw, deg) }

@@ -1,0 +1,120 @@
+// Package simd holds the explicit data-parallel kernels behind the
+// sharing replay's hot column loops: the branch-free hit count over a
+// chunk's outcome words, the outcome-log hit scan, the meta-byte →
+// core/write-word expansion and the masked popcount over captured
+// core/write words.
+//
+// Every kernel exists in (up to) three tiers:
+//
+//   - assembly — hand-written AVX2 (amd64, gated on runtime CPUID
+//     detection) and NEON (arm64, baseline) in the build-tagged .s
+//     files, reached through //go:noescape wrappers. The wrappers
+//     handle lengths that are not a multiple of the vector width, so
+//     the assembly bodies only ever see whole vectors.
+//   - SWAR — the exported *SWAR functions: portable Go that processes
+//     multiple elements per iteration with plain word arithmetic
+//     (math/bits popcounts, byte-packed masks). This is the whole
+//     story on architectures without assembly, and the middle tier
+//     (sharing.SIMDSWAR) everywhere else.
+//   - scalar — the original per-element loops living in
+//     internal/sharing, untouched, selected by sharing.SIMDOff.
+//
+// All tiers are bit-identical by construction and held so by the
+// differential tests here and in internal/sharing. The package knows
+// nothing about selection policy: internal/sharing binds a tier per
+// replay (Options.SIMD plus the SHARELLC_SIMD env gate) and calls
+// either the auto-dispatching functions (CountHits, ...) or the SWAR
+// ones directly.
+package simd
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Bit-layout contracts shared with internal/sharing, pinned there at
+// compile time so the encodings cannot drift apart.
+const (
+	// HitShift is the outcome-word bit position of the hit flag
+	// (cache.BatchHit): CountHits sums (o >> HitShift) & 1.
+	HitShift = 30
+	// LogHit is the outcome-log hit flag (sharing's logHit byte bit):
+	// CountLogHits counts bytes with it set.
+	LogHit = uint8(1 << 6)
+	// CWWritten is the store bit of the packed core/write word
+	// (sharing's cwWritten): Degrees masks it before counting cores.
+	CWWritten = uint64(1) << 63
+)
+
+// HasAsm reports whether the assembly tier is available: AVX2 detected
+// on amd64, always on arm64 (NEON is baseline), never elsewhere. When
+// false the auto-dispatching functions are exactly the SWAR tier.
+func HasAsm() bool { return hasAsm }
+
+// CountHitsSWAR returns the number of outcome words in out with the
+// hit flag set, four words per iteration through independent
+// accumulators.
+func CountHitsSWAR(out []uint32) uint64 {
+	var a, b, c, d uint64
+	n := len(out) &^ 3
+	for k := 0; k < n; k += 4 {
+		a += uint64(out[k]>>HitShift) & 1
+		b += uint64(out[k+1]>>HitShift) & 1
+		c += uint64(out[k+2]>>HitShift) & 1
+		d += uint64(out[k+3]>>HitShift) & 1
+	}
+	for _, o := range out[n:] {
+		a += uint64(o>>HitShift) & 1
+	}
+	return a + b + c + d
+}
+
+// CountLogHitsSWAR returns the number of outcome-log bytes in log with
+// the hit flag set: eight bytes at a time as one word, masked to the
+// hit bits and popcounted.
+func CountLogHitsSWAR(log []uint8) uint64 {
+	const hits8 = uint64(LogHit) * 0x0101010101010101
+	var s uint64
+	n := len(log) &^ 7
+	for k := 0; k < n; k += 8 {
+		w := binary.LittleEndian.Uint64(log[k:])
+		s += uint64(bits.OnesCount64(w & hits8))
+	}
+	for _, b := range log[n:] {
+		s += uint64(b&LogHit) >> 6
+	}
+	return s
+}
+
+// ExpandCWSWAR expands each packed meta byte (low 7 bits core, top bit
+// store) into a core/write word: bit core set, CWWritten carrying the
+// store flag. Shift counts ≥ 64 produce 0, matching Go shift semantics
+// and the VPSLLVQ lanes of the assembly tier. len(cw) must be at least
+// len(meta).
+func ExpandCWSWAR(meta []uint8, cw []uint64) {
+	cw = cw[:len(meta)]
+	n := len(meta) &^ 3
+	for k := 0; k < n; k += 4 {
+		m0, m1, m2, m3 := meta[k], meta[k+1], meta[k+2], meta[k+3]
+		cw[k] = uint64(1)<<(m0&0x7f) | uint64(m0&0x80)<<56
+		cw[k+1] = uint64(1)<<(m1&0x7f) | uint64(m1&0x80)<<56
+		cw[k+2] = uint64(1)<<(m2&0x7f) | uint64(m2&0x80)<<56
+		cw[k+3] = uint64(1)<<(m3&0x7f) | uint64(m3&0x80)<<56
+	}
+	for k := n; k < len(meta); k++ {
+		m := meta[k]
+		cw[k] = uint64(1)<<(m&0x7f) | uint64(m&0x80)<<56
+	}
+}
+
+// DegreesSWAR writes, for each core/write word, the number of core
+// bits set (the sharing degree of the residency it came from), masking
+// the CWWritten store flag. math/bits lowers to a popcount instruction
+// where one exists and to its own SWAR reduction elsewhere. len(deg)
+// must be at least len(cw).
+func DegreesSWAR(cw []uint64, deg []uint8) {
+	deg = deg[:len(cw)]
+	for k, w := range cw {
+		deg[k] = uint8(bits.OnesCount64(w &^ CWWritten))
+	}
+}

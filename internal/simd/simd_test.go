@@ -1,0 +1,274 @@
+package simd
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// Scalar reference implementations: the per-element loops the sharing
+// package runs under SIMDOff, restated here so all three tiers are
+// held to the same ground truth.
+
+func refCountHits(out []uint32) uint64 {
+	var s uint64
+	for _, o := range out {
+		s += uint64(o>>HitShift) & 1
+	}
+	return s
+}
+
+func refCountLogHits(log []uint8) uint64 {
+	var s uint64
+	for _, b := range log {
+		if b&LogHit != 0 {
+			s++
+		}
+	}
+	return s
+}
+
+func refExpandCW(meta []uint8, cw []uint64) {
+	for k, m := range meta {
+		cw[k] = uint64(1)<<(m&^0x80) | uint64(m&0x80)<<56
+	}
+}
+
+func refDegrees(cw []uint64, deg []uint8) {
+	for k, w := range cw {
+		deg[k] = uint8(bits.OnesCount64(w &^ CWWritten))
+	}
+}
+
+// testLengths covers empty input, every sub-vector tail length, odd
+// straddles of each kernel's unroll width, and a few large sizes
+// (including the sharing package's chunk size).
+func testLengths() []int {
+	ls := make([]int, 0, 80)
+	for n := 0; n <= 70; n++ {
+		ls = append(ls, n)
+	}
+	return append(ls, 127, 128, 1000, 2048, 4096)
+}
+
+func TestCountHitsTiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range testLengths() {
+		out := make([]uint32, n)
+		for k := range out {
+			out[k] = rng.Uint32()
+		}
+		want := refCountHits(out)
+		if got := CountHitsSWAR(out); got != want {
+			t.Fatalf("CountHitsSWAR(n=%d) = %d, want %d", n, got, want)
+		}
+		if got := CountHits(out); got != want {
+			t.Fatalf("CountHits(n=%d) = %d, want %d (asm=%v)", n, got, want, HasAsm())
+		}
+	}
+}
+
+func TestCountLogHitsTiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range testLengths() {
+		log := make([]uint8, n)
+		for k := range log {
+			log[k] = uint8(rng.Uint32())
+		}
+		want := refCountLogHits(log)
+		if got := CountLogHitsSWAR(log); got != want {
+			t.Fatalf("CountLogHitsSWAR(n=%d) = %d, want %d", n, got, want)
+		}
+		if got := CountLogHits(log); got != want {
+			t.Fatalf("CountLogHits(n=%d) = %d, want %d (asm=%v)", n, got, want, HasAsm())
+		}
+	}
+}
+
+func TestExpandCWTiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range testLengths() {
+		meta := make([]uint8, n)
+		for k := range meta {
+			meta[k] = uint8(rng.Uint32())
+		}
+		if n >= 4 {
+			// Pin the boundary byte values: core 63 (top packed-word
+			// core bit), 64..127 (out-of-range cores, must expand to a
+			// zero core mask exactly like Go's oversized shifts), and
+			// the store flag alone.
+			meta[0], meta[1], meta[2], meta[3] = 63, 64, 127, 0x80
+		}
+		want := make([]uint64, n)
+		refExpandCW(meta, want)
+		got := make([]uint64, n)
+		ExpandCWSWAR(meta, got)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("ExpandCWSWAR(n=%d)[%d] = %#x, want %#x (meta %#x)", n, k, got[k], want[k], meta[k])
+			}
+		}
+		clear(got)
+		ExpandCW(meta, got)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("ExpandCW(n=%d)[%d] = %#x, want %#x (meta %#x, asm=%v)", n, k, got[k], want[k], meta[k], HasAsm())
+			}
+		}
+	}
+}
+
+func TestDegreesTiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range testLengths() {
+		cw := make([]uint64, n)
+		for k := range cw {
+			cw[k] = rng.Uint64()
+		}
+		if n >= 4 {
+			cw[0], cw[1], cw[2], cw[3] = 0, CWWritten, ^uint64(0), CWWritten|1
+		}
+		want := make([]uint8, n)
+		refDegrees(cw, want)
+		got := make([]uint8, n)
+		DegreesSWAR(cw, got)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("DegreesSWAR(n=%d)[%d] = %d, want %d (cw %#x)", n, k, got[k], want[k], cw[k])
+			}
+		}
+		clear(got)
+		Degrees(cw, got)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("Degrees(n=%d)[%d] = %d, want %d (cw %#x, asm=%v)", n, k, got[k], want[k], cw[k], HasAsm())
+			}
+		}
+	}
+}
+
+// benchN matches the sharing package's chunk size (batchSize), the
+// length every kernel actually runs at.
+const benchN = 2 << 10
+
+func BenchmarkCountHits(b *testing.B) {
+	out := make([]uint32, benchN)
+	rng := rand.New(rand.NewSource(5))
+	for k := range out {
+		out[k] = rng.Uint32()
+	}
+	var sink uint64
+	b.Run("asm", func(b *testing.B) {
+		if !HasAsm() {
+			b.Skip("no assembly tier")
+		}
+		b.SetBytes(4 * benchN)
+		for i := 0; i < b.N; i++ {
+			sink += CountHits(out)
+		}
+	})
+	b.Run("swar", func(b *testing.B) {
+		b.SetBytes(4 * benchN)
+		for i := 0; i < b.N; i++ {
+			sink += CountHitsSWAR(out)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(4 * benchN)
+		for i := 0; i < b.N; i++ {
+			sink += refCountHits(out)
+		}
+	})
+	_ = sink
+}
+
+func BenchmarkCountLogHits(b *testing.B) {
+	log := make([]uint8, benchN)
+	rng := rand.New(rand.NewSource(6))
+	for k := range log {
+		log[k] = uint8(rng.Uint32())
+	}
+	var sink uint64
+	b.Run("asm", func(b *testing.B) {
+		if !HasAsm() {
+			b.Skip("no assembly tier")
+		}
+		b.SetBytes(benchN)
+		for i := 0; i < b.N; i++ {
+			sink += CountLogHits(log)
+		}
+	})
+	b.Run("swar", func(b *testing.B) {
+		b.SetBytes(benchN)
+		for i := 0; i < b.N; i++ {
+			sink += CountLogHitsSWAR(log)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(benchN)
+		for i := 0; i < b.N; i++ {
+			sink += refCountLogHits(log)
+		}
+	})
+	_ = sink
+}
+
+func BenchmarkExpandCW(b *testing.B) {
+	meta := make([]uint8, benchN)
+	rng := rand.New(rand.NewSource(7))
+	for k := range meta {
+		meta[k] = uint8(rng.Uint32()) & 0xbf
+	}
+	cw := make([]uint64, benchN)
+	b.Run("asm", func(b *testing.B) {
+		if !HasAsm() {
+			b.Skip("no assembly tier")
+		}
+		b.SetBytes(benchN)
+		for i := 0; i < b.N; i++ {
+			ExpandCW(meta, cw)
+		}
+	})
+	b.Run("swar", func(b *testing.B) {
+		b.SetBytes(benchN)
+		for i := 0; i < b.N; i++ {
+			ExpandCWSWAR(meta, cw)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(benchN)
+		for i := 0; i < b.N; i++ {
+			refExpandCW(meta, cw)
+		}
+	})
+}
+
+func BenchmarkDegrees(b *testing.B) {
+	cw := make([]uint64, benchN)
+	rng := rand.New(rand.NewSource(8))
+	for k := range cw {
+		cw[k] = rng.Uint64()
+	}
+	deg := make([]uint8, benchN)
+	b.Run("asm", func(b *testing.B) {
+		if !HasAsm() {
+			b.Skip("no assembly tier")
+		}
+		b.SetBytes(8 * benchN)
+		for i := 0; i < b.N; i++ {
+			Degrees(cw, deg)
+		}
+	})
+	b.Run("swar", func(b *testing.B) {
+		b.SetBytes(8 * benchN)
+		for i := 0; i < b.N; i++ {
+			DegreesSWAR(cw, deg)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(8 * benchN)
+		for i := 0; i < b.N; i++ {
+			refDegrees(cw, deg)
+		}
+	})
+}
